@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-race test-short bench repro claims fuzz cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One iteration of every paper table/figure benchmark with rendered output.
+bench:
+	$(GO) test -bench . -benchmem -benchtime=1x -v .
+
+# Full reproduction at the paper's 50 GB volume.
+repro:
+	$(GO) run ./cmd/expdriver
+
+# PASS/FAIL checklist of the paper's quantitative claims.
+claims:
+	$(GO) run ./cmd/expdriver -claims
+
+fuzz:
+	$(GO) test -fuzz=FuzzFastRoundTrip -fuzztime=30s ./internal/compress/lzfast/
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/compress/lzheavy/
+	$(GO) test -fuzz=FuzzWriterChunking -fuzztime=30s ./internal/stream/
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

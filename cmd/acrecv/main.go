@@ -1,0 +1,68 @@
+// Command acrecv receives an adaptively compressed TCP stream (from acsend)
+// and reports the decompressed volume and application-level throughput.
+// The receiver is entirely self-configuring: every block carries its codec
+// ID, so level switches on the sender need no coordination.
+//
+// Usage:
+//
+//	acrecv [-listen host:port] [-once]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"adaptio"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9911", "listen address")
+		once   = flag.Bool("once", false, "exit after one connection")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("acrecv: listening on %s\n", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		handle(conn)
+		if *once {
+			return
+		}
+	}
+}
+
+func handle(conn net.Conn) {
+	defer conn.Close()
+	r, err := adaptio.NewReader(conn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acrecv: %v\n", err)
+		return
+	}
+	start := time.Now()
+	n, err := io.Copy(io.Discard, r)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acrecv: stream error after %d bytes: %v\n", n, err)
+		return
+	}
+	raw, wire, blocks := r.Counters()
+	fmt.Printf("received %.2f GB app / %.2f GB wire in %.1f s (%.1f MB/s app, %d blocks)\n",
+		float64(raw)/1e9, float64(wire)/1e9, elapsed.Seconds(), float64(n)/1e6/elapsed.Seconds(), blocks)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "acrecv: %v\n", err)
+	os.Exit(1)
+}

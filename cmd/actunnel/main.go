@@ -1,0 +1,91 @@
+// Command actunnel runs an adaptive-compression TCP tunnel endpoint. A pair
+// of actunnel processes transparently compresses any TCP application's
+// traffic with the paper's rate-based scheme — the "infrastructure
+// agnostic" deployment the paper argues for: no hypervisor, kernel or
+// application changes, just a relay the cloud customer controls.
+//
+//	# on the remote VM (exit): forward decompressed traffic to the service
+//	actunnel -mode exit -listen :9000 -target 127.0.0.1:5432
+//
+//	# locally (entry): applications connect here with plain TCP
+//	actunnel -mode entry -listen 127.0.0.1:5432 -target remote-vm:9000
+//
+// Each connection direction adapts its compression level independently from
+// its observed application data rate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"adaptio"
+	"adaptio/internal/tunnel"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "", "entry (plain in, compressed out) or exit (compressed in, plain out)")
+		listen = flag.String("listen", "", "address to listen on")
+		target = flag.String("target", "", "address to forward to (exit endpoint or final service)")
+		window = flag.Duration("window", 2*time.Second, "decision window t")
+		alpha  = flag.Float64("alpha", adaptio.DefaultAlpha, "tolerance band alpha")
+		static = flag.Int("static", adaptio.Adaptive, "static level 0..3, or -1 for adaptive")
+		quiet  = flag.Bool("q", false, "suppress per-connection statistics")
+	)
+	flag.Parse()
+	if *listen == "" || *target == "" || (*mode != "entry" && *mode != "exit") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := tunnel.Config{
+		Window: *window,
+		Alpha:  *alpha,
+		Logf:   log.Printf,
+	}
+	if *static != adaptio.Adaptive {
+		cfg.Static = true
+		cfg.StaticLevel = *static
+	}
+	if !*quiet {
+		names := adaptio.DefaultLadder().Names()
+		cfg.OnDone = func(s tunnel.ConnStats) {
+			ratio := 1.0
+			if s.Stats.AppBytes > 0 {
+				ratio = float64(s.Stats.WireBytes) / float64(s.Stats.AppBytes)
+			}
+			line := fmt.Sprintf("%s: %d app B -> %d wire B (ratio %.3f), switches %d, levels",
+				s.Direction, s.Stats.AppBytes, s.Stats.WireBytes, ratio, s.Stats.LevelSwitches)
+			for lvl, blocks := range s.Stats.BlocksPerLevel {
+				if blocks > 0 {
+					line += fmt.Sprintf(" %s=%d", names[lvl], blocks)
+				}
+			}
+			log.Print(line)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var (
+		ep  *tunnel.Endpoint
+		err error
+	)
+	if *mode == "entry" {
+		ep, err = tunnel.ListenEntry(ctx, *listen, *target, cfg)
+	} else {
+		ep, err = tunnel.ListenExit(ctx, *listen, *target, cfg)
+	}
+	if err != nil {
+		log.Fatalf("actunnel: %v", err)
+	}
+	log.Printf("actunnel %s endpoint on %s -> %s", *mode, ep.Addr(), *target)
+	<-ctx.Done()
+	ep.Close()
+}

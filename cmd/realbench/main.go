@@ -1,0 +1,52 @@
+// Command realbench runs the real-bytes Table II analogue: the paper's
+// sweep (data compressibility x wire bandwidth x scheme) with the actual
+// corpus generators, the actual codecs, the production stream layer and a
+// real, rate-limited TCP loopback connection. Where cmd/expdriver's Table II
+// answers "does the algorithm behave like the paper's on the paper's
+// hardware model", realbench answers "does the shipped code deliver the
+// paper's effect on *this* machine".
+//
+// Usage:
+//
+//	realbench [-mb 24] [-wires 80,11] [-window 50ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"adaptio/internal/experiments"
+)
+
+func main() {
+	var (
+		mb     = flag.Int64("mb", 24, "volume per cell in MiB")
+		wires  = flag.String("wires", "80,11", "comma-separated wire rates in MB/s")
+		window = flag.Duration("window", 50*time.Millisecond, "decision window t")
+	)
+	flag.Parse()
+
+	var rates []float64
+	for _, f := range strings.Split(*wires, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "realbench: bad wire rate %q\n", f)
+			os.Exit(1)
+		}
+		rates = append(rates, v)
+	}
+	cells, err := experiments.RealTableII(experiments.RealTableIIConfig{
+		VolumeBytes: *mb << 20,
+		WireMBps:    rates,
+		Window:      *window,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "realbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.RenderRealTableII(cells))
+}

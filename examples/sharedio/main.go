@@ -1,0 +1,62 @@
+// Sharedio: quantify what co-located virtual machines cost you, and what
+// adaptive compression buys back.
+//
+// This example drives the cloud simulator (the same engine behind the
+// Table II reproduction): a sender VM on the paper's KVM-paravirt platform
+// transfers 50 GB while 0..3 co-located VMs saturate the host NIC. For each
+// contention level it compares no compression, the best static level, and
+// the adaptive DYNAMIC scheme — showing that DYNAMIC tracks the best static
+// choice without knowing the data or the contention in advance.
+//
+// Run with: go run ./examples/sharedio
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adaptio/internal/cloudsim"
+	"adaptio/internal/core"
+	"adaptio/internal/corpus"
+)
+
+func main() {
+	const volume = 50e9
+	names := []string{"NO", "LIGHT", "MEDIUM", "HEAVY"}
+
+	for _, kind := range corpus.Kinds() {
+		fmt.Printf("=== %s data (%s-like) ===\n", kind, kind.FileName())
+		fmt.Printf("%8s %10s %16s %12s %9s\n", "bg conns", "NO", "best static", "DYNAMIC", "speedup")
+		for bg := 0; bg <= 3; bg++ {
+			run := func(s cloudsim.Scheme) float64 {
+				res, err := cloudsim.RunTransfer(cloudsim.TransferConfig{
+					Platform:   cloudsim.KVMParavirt,
+					Kind:       cloudsim.ConstantKind(kind),
+					TotalBytes: volume,
+					Background: bg,
+					Scheme:     s,
+					Profiles:   cloudsim.ReferenceProfiles(),
+					Seed:       uint64(bg) + 7,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				return res.CompletionSeconds
+			}
+			no := run(cloudsim.StaticScheme(0))
+			bestT, bestName := no, "NO"
+			for lvl := 1; lvl < 4; lvl++ {
+				if t := run(cloudsim.StaticScheme(lvl)); t < bestT {
+					bestT, bestName = t, names[lvl]
+				}
+			}
+			dyn := run(core.MustNewDecider(core.Config{Levels: 4}))
+			fmt.Printf("%8d %9.0fs %9.0fs (%s)%*s %11.0fs %8.1fx\n",
+				bg, no, bestT, bestName, 6-len(bestName), "", dyn, no/dyn)
+		}
+		fmt.Println()
+	}
+	fmt.Println("speedup = completion time without compression / with DYNAMIC.")
+	fmt.Println("The paper reports DYNAMIC within 22% of the best static level and")
+	fmt.Println("up to 4x throughput gain under contention; compare the columns above.")
+}

@@ -1,0 +1,3 @@
+module adaptio
+
+go 1.24

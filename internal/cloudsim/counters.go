@@ -1,0 +1,65 @@
+package cloudsim
+
+import (
+	"fmt"
+
+	"adaptio/internal/xrand"
+)
+
+// StatCounters simulates a Linux /proc/stat cumulative CPU line for a
+// machine (guest or host view) under a constant I/O workload. It is the
+// bridge between the simulator and internal/metrics: the metrics package's
+// parser and sampler consume the exact same textual format from a real
+// /proc/stat and from this simulation, so the Figure 1 methodology (1 s
+// delta sampling of jiffy counters) runs unmodified against both.
+type StatCounters struct {
+	breakdown CPUBreakdown // percent of one core while the workload runs
+	rng       *xrand.RNG
+	// cumulative jiffies
+	usr, nice, sys, idle, iowait, hirq, sirq, steal uint64
+	// USER_HZ: jiffies per second.
+	hz float64
+}
+
+// NewStatCounters creates counters for a machine whose workload consumes
+// CPU according to the given breakdown (in percent of one core).
+func NewStatCounters(b CPUBreakdown, seed uint64) *StatCounters {
+	return &StatCounters{breakdown: b, rng: xrand.New(seed), hz: 100}
+}
+
+// Advance accumulates dt seconds of runtime with ±7 % multiplicative noise
+// per component, mimicking the scheduling jitter real samplers see.
+func (s *StatCounters) Advance(dt float64) {
+	jif := func(pct float64) uint64 {
+		if pct <= 0 {
+			return 0
+		}
+		return uint64(pct / 100 * dt * s.hz * s.rng.NoiseFactor(0.07))
+	}
+	u := jif(s.breakdown.USR)
+	sy := jif(s.breakdown.SYS)
+	hi := jif(s.breakdown.HIRQ)
+	si := jif(s.breakdown.SIRQ)
+	st := jif(s.breakdown.STEAL)
+	s.usr += u
+	s.sys += sy
+	s.hirq += hi
+	s.sirq += si
+	s.steal += st
+	total := uint64(dt * s.hz)
+	busy := u + sy + hi + si + st
+	if total > busy {
+		s.idle += total - busy
+	}
+}
+
+// ProcStat renders the counters in /proc/stat format (the aggregate "cpu"
+// line plus one "cpu0" line, btime and ctxt fields as found on real
+// systems).
+func (s *StatCounters) ProcStat() string {
+	line := fmt.Sprintf("cpu  %d %d %d %d %d %d %d %d 0 0",
+		s.usr, s.nice, s.sys, s.idle, s.iowait, s.hirq, s.sirq, s.steal)
+	line0 := fmt.Sprintf("cpu0 %d %d %d %d %d %d %d %d 0 0",
+		s.usr, s.nice, s.sys, s.idle, s.iowait, s.hirq, s.sirq, s.steal)
+	return line + "\n" + line0 + "\nctxt 123456\nbtime 1305504000\nprocesses 4242\n"
+}

@@ -1,0 +1,257 @@
+// Package cloudsim is the virtualization substrate: a discrete-event model
+// of the paper's experimental environment — physical hosts with 1 Gbit/s
+// NICs and SATA disks, virtual machines under different hypervisors, the
+// CPU-accounting distortion those hypervisors introduce, shared-I/O
+// contention from co-located virtual machines, and the host page cache whose
+// flush behaviour produces the XEN file-write anomalies of Figure 3.
+//
+// The paper ran on a local Eucalyptus cloud (XEN and KVM) plus Amazon EC2;
+// none of those are available here, so the substrate encodes their observed
+// behaviour as explicit, documented parameters calibrated against the
+// paper's published numbers (see DESIGN.md, "Substitutions"). The decision
+// algorithm under test — internal/core — is the real production code and is
+// driven, unmodified, inside this simulation.
+package cloudsim
+
+import "fmt"
+
+// Platform identifies a virtualization environment from Section II.
+type Platform int
+
+// The five environments of Figures 1–3.
+const (
+	Native      Platform = iota // unvirtualized host (baseline)
+	KVMFull                     // KVM with emulated devices (e1000/scsi)
+	KVMParavirt                 // KVM with virtio drivers — the evaluation platform of Section IV
+	XenParavirt                 // XEN with xennet/xenblk drivers
+	EC2                         // Amazon EC2 m1.small
+)
+
+// String returns the paper's label for the platform.
+func (p Platform) String() string {
+	switch p {
+	case Native:
+		return "Native"
+	case KVMFull:
+		return "KVM (Full V.)"
+	case KVMParavirt:
+		return "KVM (Parav.)"
+	case XenParavirt:
+		return "XEN (Parav.)"
+	case EC2:
+		return "Amazon EC2"
+	default:
+		return fmt.Sprintf("Platform(%d)", int(p))
+	}
+}
+
+// Platforms lists all platforms in the paper's plotting order.
+func Platforms() []Platform {
+	return []Platform{Native, KVMFull, KVMParavirt, XenParavirt, EC2}
+}
+
+// IOOp is one of the four I/O operation types of Figure 1.
+type IOOp int
+
+// The four operations of Figure 1 (a)-(d).
+const (
+	NetSend IOOp = iota
+	NetRecv
+	FileWrite
+	FileRead
+)
+
+// String returns the paper's label for the operation.
+func (op IOOp) String() string {
+	switch op {
+	case NetSend:
+		return "Network I/O (send)"
+	case NetRecv:
+		return "Network I/O (receive)"
+	case FileWrite:
+		return "File I/O (write)"
+	case FileRead:
+		return "File I/O (read)"
+	default:
+		return fmt.Sprintf("IOOp(%d)", int(op))
+	}
+}
+
+// IOOps lists the four operations in the paper's order.
+func IOOps() []IOOp { return []IOOp{NetSend, NetRecv, FileWrite, FileRead} }
+
+// CPUBreakdown is a CPU utilization split in percent of one core, matching
+// the stacked bars of Figure 1: user mode, kernel mode, hardware interrupts,
+// software interrupts and (XEN/EC2 only) steal time.
+type CPUBreakdown struct {
+	USR   float64
+	SYS   float64
+	HIRQ  float64
+	SIRQ  float64
+	STEAL float64
+}
+
+// Total returns the summed utilization in percent.
+func (c CPUBreakdown) Total() float64 { return c.USR + c.SYS + c.HIRQ + c.SIRQ + c.STEAL }
+
+// Scale returns the breakdown with every component multiplied by f.
+func (c CPUBreakdown) Scale(f float64) CPUBreakdown {
+	return CPUBreakdown{c.USR * f, c.SYS * f, c.HIRQ * f, c.SIRQ * f, c.STEAL * f}
+}
+
+// Add returns the componentwise sum.
+func (c CPUBreakdown) Add(o CPUBreakdown) CPUBreakdown {
+	return CPUBreakdown{c.USR + o.USR, c.SYS + o.SYS, c.HIRQ + o.HIRQ, c.SIRQ + o.SIRQ, c.STEAL + o.STEAL}
+}
+
+// accountingEntry holds the ground-truth CPU cost of running one saturating
+// I/O operation (as the host observes it) and the distorted view the guest's
+// /proc/stat presents, both in percent of one core. Values are calibrated to
+// the qualitative magnitudes of Figure 1: small guest/host gaps for KVM-full
+// and XEN network send, a gap of roughly an order of magnitude for
+// KVM-paravirt network send, and up to 15x for XEN file read.
+type accountingEntry struct {
+	guest CPUBreakdown
+	host  CPUBreakdown // zero for EC2 (the paper could not observe the host)
+}
+
+// accountingTable: [platform][op].
+var accountingTable = map[Platform]map[IOOp]accountingEntry{
+	Native: {
+		// On the native host guest==host by definition; the entry is the
+		// true cost of saturating the respective device.
+		NetSend:   {guest: CPUBreakdown{USR: 3, SYS: 22, HIRQ: 2, SIRQ: 10}, host: CPUBreakdown{USR: 3, SYS: 22, HIRQ: 2, SIRQ: 10}},
+		NetRecv:   {guest: CPUBreakdown{USR: 3, SYS: 26, HIRQ: 3, SIRQ: 14}, host: CPUBreakdown{USR: 3, SYS: 26, HIRQ: 3, SIRQ: 14}},
+		FileWrite: {guest: CPUBreakdown{USR: 2, SYS: 12, HIRQ: 1, SIRQ: 2}, host: CPUBreakdown{USR: 2, SYS: 12, HIRQ: 1, SIRQ: 2}},
+		FileRead:  {guest: CPUBreakdown{USR: 2, SYS: 9, HIRQ: 1, SIRQ: 2}, host: CPUBreakdown{USR: 2, SYS: 9, HIRQ: 1, SIRQ: 2}},
+	},
+	KVMFull: {
+		// Emulated e1000/scsi devices: the guest kernel does real work
+		// (high SYS) and the host qemu process adds device emulation on
+		// top; the *relative* gap is small for sends (the paper calls it
+		// out as one of the small-discrepancy cases).
+		NetSend:   {guest: CPUBreakdown{USR: 4, SYS: 58, HIRQ: 6, SIRQ: 16}, host: CPUBreakdown{USR: 62, SYS: 40, HIRQ: 2, SIRQ: 8}},
+		NetRecv:   {guest: CPUBreakdown{USR: 4, SYS: 52, HIRQ: 8, SIRQ: 20}, host: CPUBreakdown{USR: 68, SYS: 44, HIRQ: 2, SIRQ: 10}},
+		FileWrite: {guest: CPUBreakdown{USR: 2, SYS: 14, HIRQ: 2, SIRQ: 2}, host: CPUBreakdown{USR: 26, SYS: 16, HIRQ: 1, SIRQ: 2}},
+		FileRead:  {guest: CPUBreakdown{USR: 2, SYS: 10, HIRQ: 2, SIRQ: 2}, host: CPUBreakdown{USR: 22, SYS: 12, HIRQ: 1, SIRQ: 2}},
+	},
+	KVMParavirt: {
+		// virtio: the guest sees almost nothing (thin virtio queues)
+		// while the host does the entire network stack's work — the
+		// paper's prime example of a misleading guest display for sends
+		// (gap near an order of magnitude).
+		NetSend:   {guest: CPUBreakdown{USR: 2, SYS: 7, HIRQ: 1, SIRQ: 3}, host: CPUBreakdown{USR: 38, SYS: 64, HIRQ: 3, SIRQ: 18}},
+		NetRecv:   {guest: CPUBreakdown{USR: 3, SYS: 16, HIRQ: 2, SIRQ: 9}, host: CPUBreakdown{USR: 42, SYS: 58, HIRQ: 3, SIRQ: 16}},
+		FileWrite: {guest: CPUBreakdown{USR: 2, SYS: 8, HIRQ: 1, SIRQ: 2}, host: CPUBreakdown{USR: 20, SYS: 18, HIRQ: 1, SIRQ: 3}},
+		FileRead:  {guest: CPUBreakdown{USR: 2, SYS: 6, HIRQ: 1, SIRQ: 1}, host: CPUBreakdown{USR: 18, SYS: 14, HIRQ: 1, SIRQ: 2}},
+	},
+	XenParavirt: {
+		// XEN paravirtual drivers: dom0 performs the device work which
+		// xentop partially attributes back; sends show a small gap, file
+		// reads the paper's headline 15x gap.
+		NetSend:   {guest: CPUBreakdown{USR: 2, SYS: 24, HIRQ: 0, SIRQ: 8, STEAL: 6}, host: CPUBreakdown{USR: 6, SYS: 34, HIRQ: 2, SIRQ: 10}},
+		NetRecv:   {guest: CPUBreakdown{USR: 3, SYS: 22, HIRQ: 0, SIRQ: 10, STEAL: 8}, host: CPUBreakdown{USR: 8, SYS: 40, HIRQ: 2, SIRQ: 14}},
+		FileWrite: {guest: CPUBreakdown{USR: 2, SYS: 9, HIRQ: 0, SIRQ: 1, STEAL: 3}, host: CPUBreakdown{USR: 10, SYS: 28, HIRQ: 1, SIRQ: 4}},
+		FileRead:  {guest: CPUBreakdown{USR: 1, SYS: 2, HIRQ: 0, SIRQ: 0, STEAL: 0}, host: CPUBreakdown{USR: 12, SYS: 30, HIRQ: 1, SIRQ: 4}},
+	},
+	EC2: {
+		// m1.small: heavy steal time (CPU sharing is how EC2 throttles
+		// small instances); the host side is unobservable.
+		NetSend:   {guest: CPUBreakdown{USR: 3, SYS: 28, HIRQ: 0, SIRQ: 9, STEAL: 28}},
+		NetRecv:   {guest: CPUBreakdown{USR: 3, SYS: 26, HIRQ: 0, SIRQ: 11, STEAL: 30}},
+		FileWrite: {guest: CPUBreakdown{USR: 2, SYS: 12, HIRQ: 0, SIRQ: 2, STEAL: 18}},
+		FileRead:  {guest: CPUBreakdown{USR: 2, SYS: 8, HIRQ: 0, SIRQ: 2, STEAL: 14}},
+	},
+}
+
+// Accounting returns the guest-displayed and host-observed CPU breakdown for
+// a saturating run of op on the platform. hostVisible is false for EC2,
+// where the paper "were unable to observe the CPU utilization as reported by
+// the host system".
+func Accounting(p Platform, op IOOp) (guest, host CPUBreakdown, hostVisible bool) {
+	e, ok := accountingTable[p][op]
+	if !ok {
+		panic(fmt.Sprintf("cloudsim: no accounting entry for %v/%v", p, op))
+	}
+	return e.guest, e.host, p != EC2
+}
+
+// netParams describes a platform's network path as seen by a sender VM.
+type netParams struct {
+	// appMBps is the achievable application-layer throughput in MB/s for
+	// a single uncontended TCP stream (wire bytes).
+	appMBps float64
+	// sigma is the lognormal per-window/per-chunk relative fluctuation.
+	sigma float64
+	// flaky enables the EC2 regime-switching process: throughput collapses
+	// toward zero for short periods ("TCP/UDP throughput on Amazon EC2
+	// can fluctuate rapidly between 1 GBit/s and zero").
+	flaky bool
+}
+
+var netTable = map[Platform]netParams{
+	// 1 Gbit/s switch: the native host reaches wire speed minus protocol
+	// overhead; virtualization shaves throughput and adds variance.
+	// KVMParavirt is calibrated so a NO-compression 50 GB transfer takes
+	// ~569 s (Table II): 50 GB / 569 s = 87.9 MB/s.
+	Native:      {appMBps: 111, sigma: 0.008},
+	KVMFull:     {appMBps: 62, sigma: 0.035},
+	KVMParavirt: {appMBps: 87.9, sigma: 0.02},
+	XenParavirt: {appMBps: 79, sigma: 0.045},
+	EC2:         {appMBps: 58, sigma: 0.35, flaky: true},
+}
+
+// diskParams describes a platform's file-write path.
+type diskParams struct {
+	// diskMBps is the sustained physical write throughput.
+	diskMBps float64
+	sigma    float64
+	// hostCache enables the XEN host-page-cache anomaly of Figure 3: the
+	// guest's writes land in the host's RAM at cacheMBps until dirtyLimit
+	// bytes accumulate, then the host flushes and the guest observes a
+	// near-stall at stallMBps.
+	hostCache  bool
+	cacheMBps  float64
+	dirtyLimit float64 // bytes
+	stallMBps  float64
+}
+
+var diskTable = map[Platform]diskParams{
+	// Seagate Barracuda ES.2 (appendix): ~80-90 MB/s sequential writes.
+	Native:      {diskMBps: 84, sigma: 0.06},
+	KVMFull:     {diskMBps: 66, sigma: 0.12},
+	KVMParavirt: {diskMBps: 74, sigma: 0.10},
+	XenParavirt: {diskMBps: 72, sigma: 0.08, hostCache: true, cacheMBps: 950, dirtyLimit: 3 << 30, stallMBps: 4},
+	EC2:         {diskMBps: 52, sigma: 0.22},
+}
+
+// NetShare returns the fraction of the uncontended application-layer
+// bandwidth available to the observed VM's TCP stream when k co-located
+// background connections compete for the host NIC. The values for k <= 3
+// are calibrated from Table II's NO-compression rows (569/908/1393/1642 s);
+// beyond that a smooth 1/(1+0.63k) extrapolation is used.
+func NetShare(k int) float64 {
+	switch {
+	case k <= 0:
+		return 1
+	case k == 1:
+		return 0.627
+	case k == 2:
+		return 0.408
+	case k == 3:
+		return 0.347
+	default:
+		return 1 / (1 + 0.63*float64(k))
+	}
+}
+
+// CPUShare returns the fraction of guest CPU capacity that remains available
+// to the observed VM when k co-located connections generate host-side I/O
+// interrupt load. Calibrated so MEDIUM/HIGH in Table II degrades from 347 s
+// (k=0) to ~397 s (k=3).
+func CPUShare(k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	return 1 / (1 + 0.04*float64(k))
+}

@@ -1,0 +1,92 @@
+package cloudsim
+
+import (
+	"fmt"
+
+	"adaptio/internal/corpus"
+)
+
+// CodecProfile characterizes one compression level for the transfer engine:
+// single-core compression/decompression speed and the achieved compression
+// ratio, each per corpus kind. Speeds are in MB/s of application
+// (uncompressed) bytes; Ratio is compressedBytes/originalBytes.
+type CodecProfile struct {
+	Name       string
+	CompMBps   map[corpus.Kind]float64
+	DecompMBps map[corpus.Kind]float64
+	Ratio      map[corpus.Kind]float64
+}
+
+// Validate checks the profile covers every corpus kind with sane values.
+func (p CodecProfile) Validate() error {
+	for _, k := range corpus.Kinds() {
+		c, ok := p.CompMBps[k]
+		if !ok || c <= 0 {
+			return fmt.Errorf("cloudsim: profile %q: bad compression speed for %v", p.Name, k)
+		}
+		d, ok := p.DecompMBps[k]
+		if !ok || d <= 0 {
+			return fmt.Errorf("cloudsim: profile %q: bad decompression speed for %v", p.Name, k)
+		}
+		r, ok := p.Ratio[k]
+		if !ok || r <= 0 || r > 1.5 {
+			return fmt.Errorf("cloudsim: profile %q: bad ratio %v for %v", p.Name, r, k)
+		}
+	}
+	return nil
+}
+
+// ReferenceProfiles returns the four-level profile ladder calibrated against
+// Table II of the paper (QuickLZ level 1 and 3, LZMA, on two Xeon E5430-era
+// cores). Every speed below is derived by inverting the paper's completion
+// times through the pipeline model of RunTransfer; see EXPERIMENTS.md for
+// the arithmetic. Use experiments.Calibrate to obtain the equivalent profile
+// measured live from this repository's own codecs instead.
+func ReferenceProfiles() []CodecProfile {
+	return []CodecProfile{
+		{
+			Name: "NO",
+			// Identity "compression" is a memcpy.
+			CompMBps:   map[corpus.Kind]float64{corpus.High: 5000, corpus.Moderate: 5000, corpus.Low: 5000},
+			DecompMBps: map[corpus.Kind]float64{corpus.High: 5000, corpus.Moderate: 5000, corpus.Low: 5000},
+			Ratio:      map[corpus.Kind]float64{corpus.High: 1, corpus.Moderate: 1, corpus.Low: 1},
+		},
+		{
+			Name:       "LIGHT", // QuickLZ, best compression speed
+			CompMBps:   map[corpus.Kind]float64{corpus.High: 250, corpus.Moderate: 104, corpus.Low: 132},
+			DecompMBps: map[corpus.Kind]float64{corpus.High: 700, corpus.Moderate: 420, corpus.Low: 520},
+			Ratio:      map[corpus.Kind]float64{corpus.High: 0.15, corpus.Moderate: 0.45, corpus.Low: 0.95},
+		},
+		{
+			Name:       "MEDIUM", // QuickLZ favouring compressed size
+			CompMBps:   map[corpus.Kind]float64{corpus.High: 163, corpus.Moderate: 71, corpus.Low: 64},
+			DecompMBps: map[corpus.Kind]float64{corpus.High: 700, corpus.Moderate: 420, corpus.Low: 520},
+			Ratio:      map[corpus.Kind]float64{corpus.High: 0.12, corpus.Moderate: 0.40, corpus.Low: 0.92},
+		},
+		{
+			Name:       "HEAVY", // LZMA
+			CompMBps:   map[corpus.Kind]float64{corpus.High: 26.7, corpus.Moderate: 8.9, corpus.Low: 5.6},
+			DecompMBps: map[corpus.Kind]float64{corpus.High: 180, corpus.Moderate: 70, corpus.Low: 48},
+			Ratio:      map[corpus.Kind]float64{corpus.High: 0.10, corpus.Moderate: 0.33, corpus.Low: 0.90},
+		},
+	}
+}
+
+// ValidateLadder checks a profile ladder: non-empty, level 0 is the identity
+// profile (ratio 1 everywhere), all profiles valid.
+func ValidateLadder(profiles []CodecProfile) error {
+	if len(profiles) == 0 {
+		return fmt.Errorf("cloudsim: empty profile ladder")
+	}
+	for i, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("level %d: %w", i, err)
+		}
+	}
+	for _, k := range corpus.Kinds() {
+		if profiles[0].Ratio[k] != 1 {
+			return fmt.Errorf("cloudsim: level 0 must be identity, ratio[%v]=%v", k, profiles[0].Ratio[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+// Package codectest provides a reusable conformance suite for block codecs.
+// Every codec implementation runs the same battery: exact round trips over a
+// catalogue of adversarial input shapes, randomized property tests via
+// testing/quick, corpus round trips, robustness against corrupted and
+// truncated inputs, and determinism.
+package codectest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptio/internal/compress"
+	"adaptio/internal/corpus"
+)
+
+// shapes returns the catalogue of deterministic adversarial inputs.
+func shapes() map[string][]byte {
+	rnd := rand.New(rand.NewSource(42))
+	random := make([]byte, 1<<16)
+	rnd.Read(random)
+
+	runs := make([]byte, 1<<16)
+	for i := range runs {
+		runs[i] = byte(i / 997)
+	}
+
+	period3 := make([]byte, 10000)
+	for i := range period3 {
+		period3[i] = "abc"[i%3]
+	}
+
+	alternating := make([]byte, 8192)
+	for i := range alternating {
+		if i%2 == 0 {
+			alternating[i] = 0xAA
+		} else {
+			alternating[i] = 0x55
+		}
+	}
+
+	nearlyRandom := make([]byte, 1<<15)
+	rnd.Read(nearlyRandom)
+	copy(nearlyRandom[1000:], nearlyRandom[:500]) // one embedded repeat
+
+	allBytes := make([]byte, 256*64)
+	for i := range allBytes {
+		allBytes[i] = byte(i)
+	}
+
+	return map[string][]byte{
+		"empty":        {},
+		"one":          {0x42},
+		"two":          {0xFF, 0x00},
+		"three":        {1, 2, 3},
+		"four-equal":   {7, 7, 7, 7},
+		"short-text":   []byte("to be or not to be, that is the question"),
+		"zeros-small":  make([]byte, 100),
+		"zeros-large":  make([]byte, 1<<17),
+		"random":       random,
+		"byte-runs":    runs,
+		"period-3":     period3,
+		"alternating":  alternating,
+		"near-random":  nearlyRandom,
+		"all-bytes":    allBytes,
+		"max-block":    corpus.Generate(corpus.Moderate, 128<<10, 7),
+		"ff-only":      bytes.Repeat([]byte{0xFF}, 4096),
+		"self-overlap": append(bytes.Repeat([]byte{'x'}, 20), bytes.Repeat([]byte("xy"), 300)...),
+	}
+}
+
+// RoundTrip asserts Compress→Decompress is the identity for every shape.
+func RoundTrip(t *testing.T, c compress.Codec) {
+	t.Helper()
+	for name, src := range shapes() {
+		t.Run(name, func(t *testing.T) {
+			comp := c.Compress(nil, src)
+			out, err := c.Decompress(nil, comp, len(src))
+			if err != nil {
+				t.Fatalf("%s: decompress failed: %v", name, err)
+			}
+			if !bytes.Equal(out, src) {
+				t.Fatalf("%s: round trip mismatch (len in=%d out=%d)", name, len(src), len(out))
+			}
+		})
+	}
+}
+
+// RoundTripAppend asserts the dst-append contract: compressing and
+// decompressing must append to non-empty destination slices without
+// disturbing existing content.
+func RoundTripAppend(t *testing.T, c compress.Codec) {
+	t.Helper()
+	src := corpus.Generate(corpus.Moderate, 4096, 3)
+	prefix := []byte("PREFIX")
+	comp := c.Compress(append([]byte(nil), prefix...), src)
+	if !bytes.HasPrefix(comp, prefix) {
+		t.Fatal("Compress disturbed dst prefix")
+	}
+	out, err := c.Decompress(append([]byte(nil), prefix...), comp[len(prefix):], len(src))
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("Decompress disturbed dst prefix")
+	}
+	if !bytes.Equal(out[len(prefix):], src) {
+		t.Fatal("append-mode round trip mismatch")
+	}
+}
+
+// QuickRoundTrip is a testing/quick property: for arbitrary byte slices the
+// round trip is the identity.
+func QuickRoundTrip(t *testing.T, c compress.Codec) {
+	t.Helper()
+	prop := func(src []byte) bool {
+		comp := c.Compress(nil, src)
+		out, err := c.Decompress(nil, comp, len(src))
+		return err == nil && bytes.Equal(out, src)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if testing.Short() {
+		cfg.MaxCount = 40
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("quick round trip property failed: %v", err)
+	}
+}
+
+// QuickRoundTripStructured is a property test over structured (compressible)
+// inputs, which exercise the match-emitting code paths far more than uniform
+// random bytes do.
+func QuickRoundTripStructured(t *testing.T, c compress.Codec) {
+	t.Helper()
+	prop := func(seed int64, size uint16, period uint8) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		p := int(period)%61 + 1
+		src := make([]byte, int(size))
+		unit := make([]byte, p)
+		rnd.Read(unit)
+		for i := range src {
+			if rnd.Intn(20) == 0 {
+				src[i] = byte(rnd.Intn(256)) // sprinkle noise
+			} else {
+				src[i] = unit[i%p]
+			}
+		}
+		comp := c.Compress(nil, src)
+		out, err := c.Decompress(nil, comp, len(src))
+		return err == nil && bytes.Equal(out, src)
+	}
+	cfg := &quick.Config{MaxCount: 150}
+	if testing.Short() {
+		cfg.MaxCount = 30
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatalf("structured quick round trip failed: %v", err)
+	}
+}
+
+// CorpusRoundTrip asserts round trips over all three paper corpora in
+// 128 KB blocks (the stream layer's block size).
+func CorpusRoundTrip(t *testing.T, c compress.Codec) {
+	t.Helper()
+	for _, kind := range corpus.Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			file := corpus.GenerateFile(kind, 1)
+			const block = 128 << 10
+			for off := 0; off < len(file); off += block {
+				end := off + block
+				if end > len(file) {
+					end = len(file)
+				}
+				src := file[off:end]
+				comp := c.Compress(nil, src)
+				out, err := c.Decompress(nil, comp, len(src))
+				if err != nil {
+					t.Fatalf("block at %d: %v", off, err)
+				}
+				if !bytes.Equal(out, src) {
+					t.Fatalf("block at %d: mismatch", off)
+				}
+			}
+		})
+	}
+}
+
+// CorruptionRobustness asserts that decompressing corrupted or truncated
+// input never panics: it must either return an error or produce output that
+// differs in a controlled way (garbage is acceptable — the stream layer's
+// CRC rejects it — but crashing is not).
+func CorruptionRobustness(t *testing.T, c compress.Codec) {
+	t.Helper()
+	src := corpus.Generate(corpus.Moderate, 8192, 11)
+	comp := c.Compress(nil, src)
+	rnd := rand.New(rand.NewSource(99))
+
+	decode := func(name string, data []byte, size int) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: decoder panicked: %v", name, r)
+			}
+		}()
+		_, _ = c.Decompress(nil, data, size)
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), comp...)
+		switch trial % 4 {
+		case 0: // flip a random byte
+			if len(mut) > 0 {
+				mut[rnd.Intn(len(mut))] ^= byte(1 + rnd.Intn(255))
+			}
+		case 1: // truncate
+			mut = mut[:rnd.Intn(len(mut)+1)]
+		case 2: // random garbage
+			mut = make([]byte, rnd.Intn(512))
+			rnd.Read(mut)
+		case 3: // extend with garbage
+			extra := make([]byte, 1+rnd.Intn(64))
+			rnd.Read(extra)
+			mut = append(mut, extra...)
+		}
+		decode(fmt.Sprintf("trial-%d", trial), mut, len(src))
+		decode(fmt.Sprintf("trial-%d-wrongsize", trial), mut, rnd.Intn(2*len(src)))
+	}
+	// Declared-size lies on valid input must not panic either.
+	decode("valid-short-size", comp, len(src)/2)
+	decode("valid-long-size", comp, len(src)*2)
+	decode("valid-zero-size", comp, 0)
+	decode("valid-negative-size", comp, -1)
+}
+
+// Deterministic asserts that compressing the same input twice yields
+// identical output (required for reproducible experiment runs).
+func Deterministic(t *testing.T, c compress.Codec) {
+	t.Helper()
+	src := corpus.Generate(corpus.High, 64<<10, 5)
+	a := c.Compress(nil, src)
+	b := c.Compress(nil, src)
+	if !bytes.Equal(a, b) {
+		t.Fatal("compression is not deterministic")
+	}
+}
+
+// Ratio compresses one canonical corpus file in 128 KB blocks and returns
+// compressedBytes / originalBytes.
+func Ratio(c compress.Codec, kind corpus.Kind) float64 {
+	file := corpus.GenerateFile(kind, 1)
+	const block = 128 << 10
+	var compTotal int
+	for off := 0; off < len(file); off += block {
+		end := off + block
+		if end > len(file) {
+			end = len(file)
+		}
+		compTotal += len(c.Compress(nil, file[off:end]))
+	}
+	return float64(compTotal) / float64(len(file))
+}
+
+// All runs the complete conformance battery.
+func All(t *testing.T, c compress.Codec) {
+	t.Helper()
+	t.Run("RoundTrip", func(t *testing.T) { RoundTrip(t, c) })
+	t.Run("RoundTripAppend", func(t *testing.T) { RoundTripAppend(t, c) })
+	t.Run("QuickRoundTrip", func(t *testing.T) { QuickRoundTrip(t, c) })
+	t.Run("QuickRoundTripStructured", func(t *testing.T) { QuickRoundTripStructured(t, c) })
+	t.Run("CorpusRoundTrip", func(t *testing.T) { CorpusRoundTrip(t, c) })
+	t.Run("CorruptionRobustness", func(t *testing.T) { CorruptionRobustness(t, c) })
+	t.Run("Deterministic", func(t *testing.T) { Deterministic(t, c) })
+}

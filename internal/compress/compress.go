@@ -1,0 +1,168 @@
+// Package compress defines the codec abstraction used by the adaptive
+// compression stream layer and a registry of available codecs.
+//
+// A Codec is a block compressor: it transforms a complete input block into a
+// complete output block. The adaptive stream layer (internal/stream) cuts the
+// application byte stream into blocks of at most 128 KB — mirroring Nephele's
+// internal buffering described in Section III-B of the paper — and hands each
+// block to the codec selected by the decision algorithm. Every block is
+// self-contained: it can be decompressed without any state from previous
+// blocks, which is what allows the compression level to change mid-stream
+// without coordination with the receiver.
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrCorrupt is returned by codecs when the compressed input is malformed.
+var ErrCorrupt = errors.New("compress: corrupt input")
+
+// ErrUnknownCodec is returned when a codec ID is not registered.
+var ErrUnknownCodec = errors.New("compress: unknown codec")
+
+// Codec compresses and decompresses independent blocks.
+//
+// Implementations must be safe for concurrent use by multiple goroutines.
+type Codec interface {
+	// ID returns the stable wire identifier of the codec. It is written
+	// into every block header so the receiver can decompress streams whose
+	// compression level changes over time.
+	ID() uint8
+
+	// Name returns a human-readable codec name such as "lzfast".
+	Name() string
+
+	// Compress appends the compressed form of src to dst and returns the
+	// extended slice. Codecs must produce output that Decompress can
+	// restore exactly.
+	Compress(dst, src []byte) []byte
+
+	// Decompress appends the decompressed form of src to dst and returns
+	// the extended slice. The caller supplies the exact decompressed size,
+	// which is carried in the block header.
+	Decompress(dst, src []byte, decompressedSize int) ([]byte, error)
+}
+
+// Wire identifiers. These values are persisted in block headers and in
+// Nephele file channels, so they must never be renumbered.
+const (
+	IDNone    uint8 = 0 // identity (no compression)
+	IDLZFast  uint8 = 1 // from-scratch fast LZ77, greedy parse (QuickLZ stand-in, LIGHT)
+	IDLZFastH uint8 = 2 // from-scratch LZ77, hash-chain parse (QuickLZ level 3 stand-in, MEDIUM)
+	IDLZHeavy uint8 = 3 // from-scratch LZ77 + range coder (LZMA stand-in, HEAVY)
+	IDFlate   uint8 = 4 // stdlib compress/flate adapter (reference codec)
+)
+
+// noneCodec is the identity codec (compression level 0 in the paper).
+type noneCodec struct{}
+
+func (noneCodec) ID() uint8    { return IDNone }
+func (noneCodec) Name() string { return "none" }
+
+func (noneCodec) Compress(dst, src []byte) []byte { return append(dst, src...) }
+
+func (noneCodec) Decompress(dst, src []byte, decompressedSize int) ([]byte, error) {
+	if len(src) != decompressedSize {
+		return dst, fmt.Errorf("%w: identity block size %d != declared %d", ErrCorrupt, len(src), decompressedSize)
+	}
+	return append(dst, src...), nil
+}
+
+// None returns the identity codec.
+func None() Codec { return noneCodec{} }
+
+var registry = struct {
+	sync.RWMutex
+	byID map[uint8]Codec
+}{byID: map[uint8]Codec{IDNone: noneCodec{}}}
+
+// Register makes a codec available for lookup by ID. Registering a second
+// codec with an already-registered ID panics: codec IDs are wire identifiers
+// and collisions would corrupt streams.
+func Register(c Codec) {
+	registry.Lock()
+	defer registry.Unlock()
+	if prev, ok := registry.byID[c.ID()]; ok && prev != c {
+		panic(fmt.Sprintf("compress: duplicate codec id %d (%s vs %s)", c.ID(), prev.Name(), c.Name()))
+	}
+	registry.byID[c.ID()] = c
+}
+
+// ByID looks up a registered codec.
+func ByID(id uint8) (Codec, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	c, ok := registry.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownCodec, id)
+	}
+	return c, nil
+}
+
+// Registered returns all registered codecs sorted by ID.
+func Registered() []Codec {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Codec, 0, len(registry.byID))
+	for _, c := range registry.byID {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Level describes one entry of the ordered compression-level ladder used by
+// the decision algorithm. Levels must be ordered by increasing
+// time/compression ratio (level 0 = no compression), exactly as required by
+// Section III-A of the paper.
+type Level struct {
+	// Name is the paper's label: NO, LIGHT, MEDIUM, HEAVY.
+	Name string
+	// Codec performs the actual block transformation.
+	Codec Codec
+}
+
+// Ladder is an ordered set of compression levels.
+//
+// The same codec ID may appear at multiple levels with different
+// parameters — the paper explicitly allows this ("it is conceivable to use
+// the same compression algorithm at multiple levels but with different
+// parameters"); the wire ID only needs to identify the *decompression*
+// algorithm, which is parameter-independent for every codec here. Level 0
+// must be the identity codec, however: the identity level also serves as
+// the stored-raw fallback for incompressible blocks.
+type Ladder []Level
+
+// Validate checks structural invariants of the ladder: non-empty, level 0
+// is the identity codec, identity appears only at level 0, and no nil
+// codecs.
+func (l Ladder) Validate() error {
+	if len(l) == 0 {
+		return errors.New("compress: empty level ladder")
+	}
+	if l[0].Codec == nil || l[0].Codec.ID() != IDNone {
+		return errors.New("compress: level 0 must be the identity codec")
+	}
+	for i, lv := range l[1:] {
+		if lv.Codec == nil {
+			return fmt.Errorf("compress: level %d has nil codec", i+1)
+		}
+		if lv.Codec.ID() == IDNone {
+			return fmt.Errorf("compress: identity codec repeated at level %d", i+1)
+		}
+	}
+	return nil
+}
+
+// Names returns the level names in order.
+func (l Ladder) Names() []string {
+	out := make([]string, len(l))
+	for i, lv := range l {
+		out[i] = lv.Name
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package compress_test
+
+import (
+	"bytes"
+	"testing"
+
+	"adaptio/internal/compress"
+	"adaptio/internal/compress/flatecodec"
+	"adaptio/internal/compress/lzfast"
+	"adaptio/internal/compress/lzheavy"
+)
+
+func TestNoneRoundTrip(t *testing.T) {
+	c := compress.None()
+	src := []byte("hello shared clouds")
+	comp := c.Compress(nil, src)
+	if !bytes.Equal(comp, src) {
+		t.Fatalf("identity codec changed data: %q", comp)
+	}
+	out, err := c.Decompress(nil, comp, len(src))
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("round trip mismatch: %q", out)
+	}
+}
+
+func TestNoneSizeMismatch(t *testing.T) {
+	c := compress.None()
+	if _, err := c.Decompress(nil, []byte("abc"), 5); err == nil {
+		t.Fatal("expected error for size mismatch")
+	}
+}
+
+func TestByIDKnown(t *testing.T) {
+	c, err := compress.ByID(compress.IDNone)
+	if err != nil {
+		t.Fatalf("ByID(IDNone): %v", err)
+	}
+	if c.Name() != "none" {
+		t.Fatalf("unexpected codec %q", c.Name())
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := compress.ByID(250); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	compress.Register(lzfast.Fast{})
+	got, err := compress.ByID(compress.IDLZFast)
+	if err != nil {
+		t.Fatalf("ByID after Register: %v", err)
+	}
+	if got.Name() != "lzfast" {
+		t.Fatalf("unexpected codec %q", got.Name())
+	}
+}
+
+func TestRegisteredSortedByID(t *testing.T) {
+	compress.Register(lzfast.Fast{})
+	compress.Register(lzfast.HC{})
+	compress.Register(lzheavy.Codec{})
+	compress.Register(flatecodec.Codec{})
+	all := compress.Registered()
+	if len(all) < 5 {
+		t.Fatalf("expected at least 5 registered codecs, got %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID() >= all[i].ID() {
+			t.Fatalf("registry not sorted: %d >= %d", all[i-1].ID(), all[i].ID())
+		}
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate codec id")
+		}
+	}()
+	compress.Register(badCodec{})
+}
+
+type badCodec struct{}
+
+func (badCodec) ID() uint8                                         { return compress.IDNone }
+func (badCodec) Name() string                                      { return "bad" }
+func (badCodec) Compress(dst, src []byte) []byte                   { return dst }
+func (badCodec) Decompress(dst, src []byte, n int) ([]byte, error) { return dst, nil }
+
+func TestLadderValidate(t *testing.T) {
+	good := compress.Ladder{
+		{Name: "NO", Codec: compress.None()},
+		{Name: "LIGHT", Codec: lzfast.Fast{}},
+		{Name: "MEDIUM", Codec: lzfast.HC{}},
+		{Name: "HEAVY", Codec: lzheavy.Codec{}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid ladder rejected: %v", err)
+	}
+	if got := good.Names(); len(got) != 4 || got[0] != "NO" || got[3] != "HEAVY" {
+		t.Fatalf("Names() = %v", got)
+	}
+}
+
+func TestLadderValidateRejectsEmpty(t *testing.T) {
+	if err := (compress.Ladder{}).Validate(); err == nil {
+		t.Fatal("empty ladder accepted")
+	}
+}
+
+func TestLadderValidateRejectsWrongLevel0(t *testing.T) {
+	bad := compress.Ladder{{Name: "LIGHT", Codec: lzfast.Fast{}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ladder without identity level 0 accepted")
+	}
+}
+
+func TestLadderAllowsSameCodecWithDifferentParameters(t *testing.T) {
+	// The paper: the same algorithm may serve multiple levels with
+	// different parameters. Only the decompression algorithm is on the
+	// wire, so duplicate IDs are legal above level 0.
+	ok := compress.Ladder{
+		{Name: "NO", Codec: compress.None()},
+		{Name: "HC-16", Codec: lzfast.HC{Depth: 16}},
+		{Name: "HC-256", Codec: lzfast.HC{Depth: 256}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("parameterized duplicate levels rejected: %v", err)
+	}
+}
+
+func TestLadderValidateRejectsRepeatedIdentity(t *testing.T) {
+	bad := compress.Ladder{
+		{Name: "NO", Codec: compress.None()},
+		{Name: "NO2", Codec: compress.None()},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("repeated identity level accepted")
+	}
+}
+
+func TestLadderValidateRejectsNilCodec(t *testing.T) {
+	bad := compress.Ladder{
+		{Name: "NO", Codec: compress.None()},
+		{Name: "X", Codec: nil},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ladder with nil codec accepted")
+	}
+}

@@ -1,0 +1,65 @@
+// Package flatecodec adapts the standard library's compress/flate (DEFLATE)
+// to the block-codec interface. It serves as an independently implemented
+// reference codec: the test suite cross-checks that the ratio ordering of the
+// from-scratch codecs (lzfast < lzfast-hc < lzheavy) brackets flate the way
+// QuickLZ and LZMA bracket zlib in the compression literature the paper
+// builds on.
+package flatecodec
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"adaptio/internal/compress"
+)
+
+// Codec compresses blocks with DEFLATE at the configured level. A zero Level
+// uses flate.DefaultCompression.
+type Codec struct {
+	Level int
+}
+
+// ID implements compress.Codec.
+func (Codec) ID() uint8 { return compress.IDFlate }
+
+// Name implements compress.Codec.
+func (Codec) Name() string { return "flate" }
+
+// Compress implements compress.Codec.
+func (c Codec) Compress(dst, src []byte) []byte {
+	level := c.Level
+	if level == 0 {
+		level = flate.DefaultCompression
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(src)/2 + 64)
+	w, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		// Only reachable with an out-of-range level; fall back to default.
+		w, _ = flate.NewWriter(&buf, flate.DefaultCompression)
+	}
+	if _, err := w.Write(src); err != nil {
+		panic(fmt.Sprintf("flatecodec: in-memory write failed: %v", err))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("flatecodec: in-memory close failed: %v", err))
+	}
+	return append(dst, buf.Bytes()...)
+}
+
+// Decompress implements compress.Codec.
+func (Codec) Decompress(dst, src []byte, decompressedSize int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out := bytes.NewBuffer(dst)
+	n, err := io.Copy(out, io.LimitReader(r, int64(decompressedSize)+1))
+	if err != nil {
+		return out.Bytes(), fmt.Errorf("%w: flate: %v", compress.ErrCorrupt, err)
+	}
+	if int(n) != decompressedSize {
+		return out.Bytes(), fmt.Errorf("%w: flate: decoded %d bytes, declared %d", compress.ErrCorrupt, n, decompressedSize)
+	}
+	return out.Bytes(), nil
+}

@@ -1,0 +1,49 @@
+package flatecodec_test
+
+import (
+	"testing"
+
+	"adaptio/internal/compress"
+	"adaptio/internal/compress/codectest"
+	"adaptio/internal/compress/flatecodec"
+	"adaptio/internal/corpus"
+)
+
+func TestConformance(t *testing.T) { codectest.All(t, flatecodec.Codec{}) }
+
+func TestWireID(t *testing.T) {
+	if (flatecodec.Codec{}).ID() != compress.IDFlate {
+		t.Fatal("flate wire id changed")
+	}
+	if (flatecodec.Codec{}).Name() != "flate" {
+		t.Fatal("flate name changed")
+	}
+}
+
+func TestLevelAffectsRatio(t *testing.T) {
+	src := corpus.Generate(corpus.Moderate, 128<<10, 1)
+	fast := flatecodec.Codec{Level: 1}.Compress(nil, src)
+	best := flatecodec.Codec{Level: 9}.Compress(nil, src)
+	if len(best) >= len(fast) {
+		t.Fatalf("level 9 (%d) should beat level 1 (%d)", len(best), len(fast))
+	}
+}
+
+func TestInvalidLevelFallsBack(t *testing.T) {
+	src := []byte("some data to compress")
+	comp := flatecodec.Codec{Level: 42}.Compress(nil, src)
+	out, err := flatecodec.Codec{}.Decompress(nil, comp, len(src))
+	if err != nil || string(out) != string(src) {
+		t.Fatalf("fallback round trip failed: %v", err)
+	}
+}
+
+func BenchmarkCompressModerate(b *testing.B) {
+	src := corpus.Generate(corpus.Moderate, 128<<10, 1)
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst = flatecodec.Codec{}.Compress(dst[:0], src)
+	}
+	b.ReportMetric(float64(len(dst))/float64(len(src)), "ratio")
+}

@@ -1,0 +1,49 @@
+package lzfast_test
+
+import (
+	"bytes"
+	"testing"
+
+	"adaptio/internal/compress/lzfast"
+	"adaptio/internal/corpus"
+)
+
+func FuzzFastRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("abcabcabcabc"))
+	f.Add(corpus.Generate(corpus.High, 4096, 1))
+	f.Add(corpus.Generate(corpus.Low, 4096, 1))
+	f.Add(bytes.Repeat([]byte{0}, 70000))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		for _, c := range []interface {
+			Compress(dst, src []byte) []byte
+			Decompress(dst, src []byte, n int) ([]byte, error)
+		}{lzfast.Fast{}, lzfast.HC{Depth: 8}} {
+			comp := c.Compress(nil, src)
+			out, err := c.Decompress(nil, comp, len(src))
+			if err != nil {
+				t.Fatalf("decompress own output: %v", err)
+			}
+			if !bytes.Equal(out, src) {
+				t.Fatal("round trip mismatch")
+			}
+		}
+	})
+}
+
+func FuzzFastDecompressArbitrary(f *testing.F) {
+	f.Add([]byte{0x00}, 10)
+	f.Add([]byte{0xF0, 1, 2, 3}, 4)
+	f.Add(lzfast.Fast{}.Compress(nil, []byte("seed data for the fuzzer")), 24)
+	f.Fuzz(func(t *testing.T, data []byte, size int) {
+		if size < 0 || size > 1<<20 {
+			size %= 1 << 20
+			if size < 0 {
+				size = -size
+			}
+		}
+		// Must never panic; errors and garbage output are fine (the
+		// stream layer's CRC rejects garbage).
+		_, _ = lzfast.Fast{}.Decompress(nil, data, size)
+	})
+}

@@ -1,0 +1,358 @@
+// Package lzfast implements a from-scratch, byte-oriented LZ77 block
+// compressor in the spirit of QuickLZ/LZ4: extremely fast greedy parsing with
+// a small hash table, token-based output, 16-bit offsets.
+//
+// It stands in for the QuickLZ library used by the paper at compression
+// levels LIGHT and MEDIUM (Section III-B): the same codec is exposed in two
+// parameterizations, a greedy single-probe mode (Fast) and a hash-chain
+// deep-search mode (HC) that trades speed for a better ratio, exactly as
+// QuickLZ level 1 vs. level 3 do.
+//
+// # Wire format
+//
+// A compressed block is a sequence of "sequences". Each sequence is:
+//
+//	token    1 byte:  high nibble = literal length (15 = extended),
+//	                  low nibble  = match length - 4 (15 = extended)
+//	extLit   0+ bytes of 255, then one byte < 255 (only if literal nibble = 15)
+//	literals litLen bytes copied verbatim
+//	offset   2 bytes little endian, 1..65535 (absent in the final sequence)
+//	extMatch 0+ bytes of 255, then one byte < 255 (only if match nibble = 15)
+//
+// The final sequence of a block consists of a token and literals only; the
+// decoder detects it by reaching the end of the input after the literal copy.
+// Matches always refer to previously decoded bytes of the same block, so
+// blocks are fully self-contained.
+package lzfast
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"adaptio/internal/compress"
+)
+
+const (
+	minMatch  = 4
+	maxOffset = 65535
+
+	// hashLog is the log2 size of the fast-mode hash table.
+	hashLog = 14
+	// hcHashLog is the log2 size of the hash-chain head table.
+	hcHashLog = 16
+)
+
+// Fast is the greedy single-probe parameterization (paper level LIGHT).
+type Fast struct{}
+
+// ID implements compress.Codec.
+func (Fast) ID() uint8 { return compress.IDLZFast }
+
+// Name implements compress.Codec.
+func (Fast) Name() string { return "lzfast" }
+
+// Compress implements compress.Codec.
+func (Fast) Compress(dst, src []byte) []byte { return compressFast(dst, src) }
+
+// Decompress implements compress.Codec.
+func (Fast) Decompress(dst, src []byte, decompressedSize int) ([]byte, error) {
+	return decompressBlock(dst, src, decompressedSize)
+}
+
+// HC is the hash-chain deep-search parameterization (paper level MEDIUM).
+// Depth bounds the number of candidate positions examined per input
+// position; the zero value uses a default depth of 64.
+type HC struct {
+	Depth int
+}
+
+// ID implements compress.Codec.
+func (HC) ID() uint8 { return compress.IDLZFastH }
+
+// Name implements compress.Codec.
+func (HC) Name() string { return "lzfast-hc" }
+
+// Compress implements compress.Codec.
+func (h HC) Compress(dst, src []byte) []byte {
+	depth := h.Depth
+	if depth <= 0 {
+		depth = 64
+	}
+	return compressHC(dst, src, depth)
+}
+
+// Decompress implements compress.Codec.
+func (HC) Decompress(dst, src []byte, decompressedSize int) ([]byte, error) {
+	return decompressBlock(dst, src, decompressedSize)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+func hash4(u uint32, bits uint) uint32 {
+	return (u * 2654435761) >> (32 - bits)
+}
+
+// matchLen returns the length of the common prefix of src[a:] and src[b:],
+// with b > a, bounded by len(src)-b.
+func matchLen(src []byte, a, b int) int {
+	n := 0
+	limit := len(src) - b
+	for n+8 <= limit && binary.LittleEndian.Uint64(src[a+n:]) == binary.LittleEndian.Uint64(src[b+n:]) {
+		n += 8
+	}
+	for n < limit && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+// emitSequence appends one token sequence (literals + optional match) to dst.
+// A match length of 0 emits a final literals-only sequence.
+func emitSequence(dst, lits []byte, offset, mlen int) []byte {
+	litLen := len(lits)
+	var token byte
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	if mlen > 0 {
+		m := mlen - minMatch
+		if m >= 15 {
+			token |= 15
+		} else {
+			token |= byte(m)
+		}
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendExtLength(dst, litLen-15)
+	}
+	dst = append(dst, lits...)
+	if mlen > 0 {
+		dst = append(dst, byte(offset), byte(offset>>8))
+		if m := mlen - minMatch; m >= 15 {
+			dst = appendExtLength(dst, m-15)
+		}
+	}
+	return dst
+}
+
+func appendExtLength(dst []byte, rest int) []byte {
+	for rest >= 255 {
+		dst = append(dst, 255)
+		rest -= 255
+	}
+	return append(dst, byte(rest))
+}
+
+func compressFast(dst, src []byte) []byte {
+	if len(src) < minMatch+1 {
+		return emitSequence(dst, src, 0, 0)
+	}
+	var table [1 << hashLog]int32
+	for i := range table {
+		table[i] = -1
+	}
+	anchor := 0
+	i := 0
+	// Leave room so that a match can always be extended and the final
+	// bytes are emitted as literals.
+	mfLimit := len(src) - minMatch
+	misses := 0
+	for i <= mfLimit {
+		h := hash4(load32(src, i), hashLog)
+		cand := int(table[h])
+		table[h] = int32(i)
+		if cand >= 0 && i-cand <= maxOffset && load32(src, cand) == load32(src, i) {
+			mlen := minMatch + matchLen(src, cand+minMatch, i+minMatch)
+			dst = emitSequence(dst, src[anchor:i], i-cand, mlen)
+			// Seed the table inside the match so that subsequent
+			// repetitions are found quickly.
+			if i+mlen <= mfLimit {
+				mid := i + mlen/2
+				if mid != i && mid <= mfLimit {
+					table[hash4(load32(src, mid), hashLog)] = int32(mid)
+				}
+			}
+			i += mlen
+			anchor = i
+			misses = 0
+			continue
+		}
+		// Skip acceleration on incompressible regions: the step grows
+		// as consecutive probes fail, bounding worst-case time on
+		// high-entropy input (same idea as LZ4's acceleration).
+		misses++
+		i += 1 + misses>>6
+	}
+	return emitSequence(dst, src[anchor:], 0, 0)
+}
+
+func compressHC(dst, src []byte, depth int) []byte {
+	if len(src) < minMatch+1 {
+		return emitSequence(dst, src, 0, 0)
+	}
+	head := make([]int32, 1<<hcHashLog)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, len(src))
+	insert := func(pos int) {
+		h := hash4(load32(src, pos), hcHashLog)
+		prev[pos] = head[h]
+		head[h] = int32(pos)
+	}
+	// bestMatch returns the longest match for position i, examining at
+	// most depth chain entries. Ties prefer the smaller offset.
+	bestMatch := func(i int) (bLen, bOff int) {
+		cand := int(head[hash4(load32(src, i), hcHashLog)])
+		for d := 0; d < depth && cand >= 0; d++ {
+			if i-cand > maxOffset {
+				break
+			}
+			if bLen == 0 || (i+bLen < len(src) && src[cand+bLen] == src[i+bLen]) {
+				if l := matchLen(src, cand, i); l >= minMatch && l > bLen {
+					bLen, bOff = l, i-cand
+				}
+			}
+			cand = int(prev[cand])
+		}
+		return bLen, bOff
+	}
+	anchor := 0
+	i := 0
+	mfLimit := len(src) - minMatch
+	for i <= mfLimit {
+		mlen, moff := bestMatch(i)
+		insert(i)
+		if mlen == 0 {
+			i++
+			continue
+		}
+		// One-step lazy matching: if the next position yields a
+		// sufficiently longer match, emit this position as a literal.
+		if i+1 <= mfLimit {
+			nlen, _ := bestMatch(i + 1)
+			if nlen > mlen+1 {
+				i++
+				continue // position i becomes a literal; i+1 reconsidered
+			}
+		}
+		if mlen > len(src)-i {
+			mlen = len(src) - i
+		}
+		dst = emitSequence(dst, src[anchor:i], moff, mlen)
+		end := i + mlen
+		for p := i + 1; p < end && p <= mfLimit; p++ {
+			insert(p)
+		}
+		i = end
+		anchor = i
+	}
+	return emitSequence(dst, src[anchor:], 0, 0)
+}
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: lzfast: %s", compress.ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// decompressBlock decodes one block, appending to dst.
+func decompressBlock(dst, src []byte, decompressedSize int) ([]byte, error) {
+	if decompressedSize < 0 {
+		return dst, corrupt("negative declared size %d", decompressedSize)
+	}
+	start := len(dst)
+	if cap(dst)-len(dst) < decompressedSize {
+		grown := make([]byte, len(dst), len(dst)+decompressedSize)
+		copy(grown, dst)
+		dst = grown
+	}
+	s := 0
+	for s < len(src) {
+		token := src[s]
+		s++
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			ext, n, err := readExtLength(src, s)
+			if err != nil {
+				return dst, err
+			}
+			litLen += ext
+			s += n
+		}
+		if s+litLen > len(src) {
+			return dst, corrupt("literal run of %d overruns input", litLen)
+		}
+		if len(dst)-start+litLen > decompressedSize {
+			return dst, corrupt("output exceeds declared size %d", decompressedSize)
+		}
+		dst = append(dst, src[s:s+litLen]...)
+		s += litLen
+		if s == len(src) {
+			break // final literals-only sequence
+		}
+		if s+2 > len(src) {
+			return dst, corrupt("truncated match offset")
+		}
+		offset := int(src[s]) | int(src[s+1])<<8
+		s += 2
+		if offset == 0 {
+			return dst, corrupt("zero match offset")
+		}
+		mlen := int(token & 0x0f)
+		if mlen == 15 {
+			ext, n, err := readExtLength(src, s)
+			if err != nil {
+				return dst, err
+			}
+			mlen += ext
+			s += n
+		}
+		mlen += minMatch
+		if offset > len(dst)-start {
+			return dst, corrupt("match offset %d exceeds produced bytes %d", offset, len(dst)-start)
+		}
+		if len(dst)-start+mlen > decompressedSize {
+			return dst, corrupt("match output exceeds declared size %d", decompressedSize)
+		}
+		dst = appendCopy(dst, offset, mlen)
+	}
+	if got := len(dst) - start; got != decompressedSize {
+		return dst, corrupt("decoded %d bytes, declared %d", got, decompressedSize)
+	}
+	return dst, nil
+}
+
+func readExtLength(src []byte, s int) (ext, n int, err error) {
+	for {
+		if s+n >= len(src) {
+			return 0, 0, corrupt("truncated extended length")
+		}
+		b := src[s+n]
+		n++
+		ext += int(b)
+		if b < 255 {
+			return ext, n, nil
+		}
+		if ext > 1<<30 {
+			return 0, 0, corrupt("extended length overflow")
+		}
+	}
+}
+
+// appendCopy copies mlen bytes from dst[len(dst)-offset:] onto the end of
+// dst, handling the overlapping case (offset < mlen) which implements
+// run-length-style repetition.
+func appendCopy(dst []byte, offset, mlen int) []byte {
+	srcPos := len(dst) - offset
+	if offset >= mlen {
+		return append(dst, dst[srcPos:srcPos+mlen]...)
+	}
+	for i := 0; i < mlen; i++ {
+		dst = append(dst, dst[srcPos+i])
+	}
+	return dst
+}

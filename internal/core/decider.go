@@ -1,0 +1,295 @@
+// Package core implements the paper's primary contribution: the rate-based
+// decision model for adaptive online compression in virtualized environments
+// (Algorithm 1, Section III-A of Hovestadt et al., IPDPS 2011).
+//
+// The model selects one of n ordered compression levels purely from the
+// observed application data rate — the rate at which the application's bytes
+// move through the compression module per t-second window — and deliberately
+// ignores every OS-provided system metric (CPU utilization, link bandwidth),
+// because Section II of the paper shows those metrics can be wrong by more
+// than an order of magnitude inside virtual machines.
+//
+// The algorithm distinguishes three cases each window:
+//
+//  1. The rate is unchanged within a tolerance band α: after an
+//     exponentially growing backoff expires, optimistically probe the
+//     neighbouring level in the current probe direction.
+//  2. The rate improved: reward the current level by incrementing its
+//     backoff exponent, making future probes away from it exponentially
+//     rarer.
+//  3. The rate degraded: reset the current level's backoff and immediately
+//     revert the previous change by moving one level against the probe
+//     direction.
+//
+// The Decider is a pure state machine: it contains no clocks, no I/O and no
+// goroutines, so the identical production code runs both under the real-time
+// stream layer (internal/stream) and inside the discrete-event cloud
+// simulator (internal/cloudsim) that regenerates the paper's evaluation.
+package core
+
+import (
+	"fmt"
+)
+
+// Default parameter values used throughout the paper's evaluation
+// (Section IV-A: "During all the experiments t was set to 2 seconds and
+// α to 0.2").
+const (
+	// DefaultAlpha is the relative tolerance band within which two
+	// consecutive application data rates are considered equal.
+	DefaultAlpha = 0.2
+	// DefaultWindow is the reconsideration interval t in seconds.
+	DefaultWindowSeconds = 2.0
+)
+
+// Config parameterizes a Decider.
+type Config struct {
+	// Levels is the number of compression levels n (including level 0 =
+	// no compression). Must be >= 1.
+	Levels int
+
+	// Alpha is the tolerance parameter α: cdr counts as "changed" only if
+	// |cdr-pdr| > Alpha*pdr. Zero means DefaultAlpha. Negative is invalid.
+	Alpha float64
+
+	// DisableBackoff turns the exponential backoff scheme off, so an
+	// optimistic probe happens every window in which the rate is stable.
+	// It exists for the ablation study (DESIGN.md A3); the paper's
+	// algorithm always has backoff enabled.
+	DisableBackoff bool
+
+	// MaxBackoffExp caps the backoff exponent so that probing never stops
+	// entirely. Zero means the paper's behaviour (uncapped). The paper
+	// notes (Fig. 6 discussion) that large backoff values for level 0 can
+	// delay the reaction to increased compressibility; capping is the
+	// obvious extension and is exercised by the ablation benches.
+	MaxBackoffExp int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Levels < 1 {
+		return c, fmt.Errorf("core: config needs at least 1 level, got %d", c.Levels)
+	}
+	if c.Alpha < 0 {
+		return c, fmt.Errorf("core: negative alpha %v", c.Alpha)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.MaxBackoffExp < 0 {
+		return c, fmt.Errorf("core: negative backoff cap %d", c.MaxBackoffExp)
+	}
+	return c, nil
+}
+
+// Decider is the decision model state machine. Its fields mirror the
+// variables of Algorithm 1 and Table I in the paper. A Decider is not safe
+// for concurrent use; the stream layer serializes access.
+type Decider struct {
+	cfg Config
+
+	ccl int     // current compression level, initially 0
+	c   int     // calls since last level change
+	inc bool    // true if the last change was an increase, initially true
+	bck []int   // per-level backoff exponents, initially 0
+	pdr float64 // previous window's application data rate
+
+	havePrev bool // pdr is valid (false only before the first observation)
+
+	// Diagnostics, not part of the paper's algorithm.
+	probes   int // optimistic switches taken
+	reverts  int // degradation-triggered reverts
+	rewards  int // backoff increments
+	observed int // total observations
+}
+
+// NewDecider creates a Decider for the given configuration.
+func NewDecider(cfg Config) (*Decider, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Decider{
+		cfg: cfg,
+		inc: true, // Table I: inc is initially TRUE
+		bck: make([]int, cfg.Levels),
+	}, nil
+}
+
+// MustNewDecider is NewDecider for known-good configurations.
+func MustNewDecider(cfg Config) *Decider {
+	d, err := NewDecider(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Level returns the currently selected compression level ccl.
+func (d *Decider) Level() int { return d.ccl }
+
+// Backoff returns the current backoff exponent of the given level.
+func (d *Decider) Backoff(level int) int { return d.bck[level] }
+
+// Stats reports probe/revert/reward counters for diagnostics and tests.
+func (d *Decider) Stats() (probes, reverts, rewards, observed int) {
+	return d.probes, d.reverts, d.rewards, d.observed
+}
+
+// Snapshot is a point-in-time view of the decision model's state, exposed
+// for logging and debugging. The field names follow Table I of the paper.
+type Snapshot struct {
+	CCL      int     // current compression level
+	C        int     // calls since the last level change
+	Inc      bool    // last change was an increase
+	Bck      []int   // per-level backoff exponents
+	PDR      float64 // previous window's application data rate
+	Observed int     // total observations so far
+}
+
+// Snapshot returns a copy of the current state.
+func (d *Decider) Snapshot() Snapshot {
+	return Snapshot{
+		CCL:      d.ccl,
+		C:        d.c,
+		Inc:      d.inc,
+		Bck:      append([]int(nil), d.bck...),
+		PDR:      d.pdr,
+		Observed: d.observed,
+	}
+}
+
+// String renders the state compactly, e.g. for OnWindow logging:
+// "ccl=1 c=3 inc=true bck=[0 2 0 0] pdr=87.3MB/s".
+func (d *Decider) String() string {
+	return fmt.Sprintf("ccl=%d c=%d inc=%v bck=%v pdr=%.1fMB/s",
+		d.ccl, d.c, d.inc, d.bck, d.pdr/1e6)
+}
+
+// Observe feeds one window's application data rate (application bytes per
+// second, measured before compression) into the decision model and returns
+// the compression level to use for the next window.
+//
+// This is Algorithm 1 plus the surrounding bookkeeping the paper describes
+// in prose: pdr is primed with cdr on the first call ("On the first call of
+// the decision algorithm, pdr is set to cdr", Table I), inc is updated
+// outside the displayed algorithm from the relation between ccl and the
+// returned ncl ("Note that inc is usually updated outside of the displayed
+// algorithm"), and the result is clamped to the valid level range with the
+// probe direction flipping at the edges so that probing continues at the
+// ladder's ends.
+func (d *Decider) Observe(cdr float64) int {
+	d.observed++
+	if !d.havePrev {
+		d.pdr = cdr
+		d.havePrev = true
+	}
+	ncl, move := d.next(cdr, d.pdr, d.ccl)
+	d.pdr = cdr
+
+	// Clamp to the ladder. The paper leaves edge handling implicit; we
+	// resolve it as follows. An optimistic *probe* that would leave the
+	// ladder flips direction instead (otherwise the algorithm would
+	// repeatedly try to leave the ladder in a direction that does not
+	// exist and never probe the other one). A degradation *revert* that
+	// would leave the ladder simply stays put: a revert is a retreat to
+	// known-good ground, not an invitation to explore.
+	if ncl < 0 || ncl > d.cfg.Levels-1 {
+		switch move {
+		case moveProbe:
+			if ncl < 0 {
+				ncl = min(1, d.cfg.Levels-1)
+			} else {
+				ncl = max(d.cfg.Levels-2, 0)
+			}
+		default:
+			if ncl < 0 {
+				ncl = 0
+			} else {
+				ncl = d.cfg.Levels - 1
+			}
+		}
+	}
+
+	if ncl != d.ccl {
+		d.inc = ncl > d.ccl // inc updated from ccl and the returned ncl
+		d.ccl = ncl
+	}
+	return d.ccl
+}
+
+type moveKind int
+
+const (
+	moveNone moveKind = iota
+	moveProbe
+	moveRevert
+)
+
+// next is a literal transcription of Algorithm 1,
+// GetNextCompressionLevel(cdr, pdr, ccl), additionally reporting whether the
+// proposed change is an optimistic probe or a degradation revert so that
+// Observe can resolve ladder-edge clamping correctly.
+func (d *Decider) next(cdr, pdr float64, ccl int) (int, moveKind) {
+	diff := cdr - pdr // line 1: d ← (cdr − pdr)
+	d.c++             // line 2
+	ncl := ccl        // line 3
+	move := moveNone
+
+	abs := diff
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs <= d.cfg.Alpha*pdr: // line 4: no change in application data rate
+		if d.backoffExpired() { // line 6: c >= 2^bck[ccl]
+			// Backoff over, try another compression level.
+			if d.inc { // lines 8-12
+				ncl++
+			} else {
+				ncl--
+			}
+			d.c = 0 // line 13
+			d.probes++
+			move = moveProbe
+		}
+	case diff > 0: // line 15: application data rate has improved
+		d.rewardLevel(ccl) // line 17: bck[ccl] ← bck[ccl] + 1
+		d.c = 0            // line 18
+		d.rewards++
+	default: // line 19: application data rate has decreased
+		d.bck[ccl] = 0 // line 21
+		if d.inc {     // lines 22-26: revert the last change
+			ncl--
+		} else {
+			ncl++
+		}
+		d.c = 0 // line 27
+		d.reverts++
+		move = moveRevert
+	}
+	return ncl, move // line 29
+}
+
+func (d *Decider) backoffExpired() bool {
+	if d.cfg.DisableBackoff {
+		return true
+	}
+	exp := d.bck[d.ccl]
+	// 2^exp without overflow: beyond 62 the threshold exceeds any
+	// realistic call count anyway.
+	if exp > 62 {
+		return false
+	}
+	return d.c >= 1<<uint(exp)
+}
+
+func (d *Decider) rewardLevel(level int) {
+	if d.cfg.DisableBackoff {
+		return
+	}
+	if d.cfg.MaxBackoffExp > 0 && d.bck[level] >= d.cfg.MaxBackoffExp {
+		return
+	}
+	d.bck[level]++
+}

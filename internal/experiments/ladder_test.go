@@ -1,0 +1,66 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"adaptio/internal/cloudsim"
+	"adaptio/internal/experiments"
+	"adaptio/internal/stream"
+)
+
+func TestCalibrateLadderExtended(t *testing.T) {
+	ms, profiles, err := experiments.CalibrateLadder(stream.ExtendedLadder(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 6 || len(ms) != 6*3 {
+		t.Fatalf("extended calibration shape: %d profiles, %d measurements", len(profiles), len(ms))
+	}
+	if err := cloudsim.ValidateLadder(profiles); err != nil {
+		t.Fatal(err)
+	}
+	// The two lzfast-hc parameterizations must differ: deeper search gets
+	// a better ratio on compressible data.
+	byLevel := map[string]map[string]float64{}
+	for _, m := range ms {
+		if byLevel[m.Level] == nil {
+			byLevel[m.Level] = map[string]float64{}
+		}
+		byLevel[m.Level][m.Kind.String()] = m.Ratio
+	}
+	if byLevel["MEDIUM+"]["HIGH"] >= byLevel["MEDIUM-"]["HIGH"] {
+		t.Errorf("MEDIUM+ ratio %.3f not better than MEDIUM- %.3f",
+			byLevel["MEDIUM+"]["HIGH"], byLevel["MEDIUM-"]["HIGH"])
+	}
+}
+
+func TestCalibrateLadderRejectsInvalid(t *testing.T) {
+	if _, _, err := experiments.CalibrateLadder(nil, 1<<20); err == nil {
+		t.Fatal("nil ladder accepted")
+	}
+}
+
+func TestAblationLadder(t *testing.T) {
+	rows, err := experiments.AblationLadder(testVolume, 2011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*4 {
+		t.Fatalf("expected 8 rows, got %d", len(rows))
+	}
+	// Structural sanity: positive times, both ladders complete every
+	// scenario. (Which ladder wins is machine-dependent — that question
+	// is exactly what the ablation reports.)
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			t.Errorf("%s/%s: non-positive completion", r.Ladder, r.Scenario)
+		}
+	}
+	out := experiments.RenderLadder(rows)
+	for _, want := range []string{"A6", "default-4", "extended-6", "HIGH/3conns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("A6 render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package experiments_test
+
+import (
+	"testing"
+	"time"
+
+	"adaptio/internal/corpus"
+	"adaptio/internal/experiments"
+)
+
+// TestRealTableIISingleContention runs a reduced real-bytes sweep (one wire
+// rate, small volume) and checks the paper's orderings with real codecs on
+// real TCP. It is skipped in -short mode because it runs in real time.
+func TestRealTableIISingleContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time sweep")
+	}
+	cells, err := experiments.RealTableII(experiments.RealTableIIConfig{
+		VolumeBytes: 12 << 20,
+		WireMBps:    []float64{10},
+		Window:      40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3*3 {
+		t.Fatalf("expected 9 cells, got %d", len(cells))
+	}
+	get := func(kind corpus.Kind, scheme string) experiments.RealCell {
+		for _, c := range cells {
+			if c.Kind == kind && c.Scheme == scheme {
+				return c
+			}
+		}
+		t.Fatalf("cell %v/%s missing", kind, scheme)
+		return experiments.RealCell{}
+	}
+	// On a starved wire, LIGHT crushes NO on compressible data.
+	noHigh, lightHigh := get(corpus.High, "NO"), get(corpus.High, "LIGHT")
+	if lightHigh.Seconds >= noHigh.Seconds*0.6 {
+		t.Errorf("HIGH: LIGHT %.1fs not clearly faster than NO %.1fs", lightHigh.Seconds, noHigh.Seconds)
+	}
+	// DYNAMIC tracks the winner on compressible data within a generous
+	// real-time margin (probing plus timer jitter on a 12 MB run).
+	dynHigh := get(corpus.High, "DYNAMIC")
+	if dynHigh.Seconds > noHigh.Seconds {
+		t.Errorf("HIGH: DYNAMIC %.1fs worse than NO %.1fs", dynHigh.Seconds, noHigh.Seconds)
+	}
+	// On incompressible data nothing helps; DYNAMIC must stay close to NO.
+	noLow, dynLow := get(corpus.Low, "NO"), get(corpus.Low, "DYNAMIC")
+	if dynLow.Seconds > noLow.Seconds*1.35 {
+		t.Errorf("LOW: DYNAMIC %.1fs much worse than NO %.1fs", dynLow.Seconds, noLow.Seconds)
+	}
+	out := experiments.RenderRealTableII(cells)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// XentopDomain is one domain row of `xentop -b` batch output — the tool the
+// paper used "to observe the CPU utilization that was accounted to the
+// monitored domU from the perspective of the dom0" (Section II-A).
+type XentopDomain struct {
+	Name    string
+	State   string
+	CPUSecs uint64  // cumulative CPU seconds consumed by the domain
+	CPUPct  float64 // utilization percentage as printed by xentop
+	MemKB   uint64
+	VCPUs   int
+	NetTxKB uint64
+	NetRxKB uint64
+}
+
+// ParseXentop parses `xentop -b` batch output (one iteration). The batch
+// format is a header line starting with "NAME" followed by one row per
+// domain:
+//
+//	NAME  STATE  CPU(sec) CPU(%) MEM(k) MEM(%) MAXMEM(k) MAXMEM(%) VCPUS NETS NETTX(k) NETRX(k) ...
+func ParseXentop(text string) ([]XentopDomain, error) {
+	var (
+		domains []XentopDomain
+		cols    map[string]int
+	)
+	for _, line := range strings.Split(text, "\n") {
+		// Domain-0's MAXMEM prints as the two-word "no limit", which
+		// would shift every following column; fold it into one token.
+		line = strings.ReplaceAll(line, "no limit", "no-limit")
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "NAME" {
+			cols = map[string]int{}
+			for i, f := range fields {
+				cols[f] = i
+			}
+			continue
+		}
+		if cols == nil {
+			continue // preamble before the header
+		}
+		get := func(name string) (string, bool) {
+			idx, ok := cols[name]
+			if !ok || idx >= len(fields) {
+				return "", false
+			}
+			return fields[idx], true
+		}
+		d := XentopDomain{Name: fields[0]}
+		if s, ok := get("STATE"); ok {
+			d.State = s
+		}
+		parseU := func(name string, dst *uint64) error {
+			s, ok := get(name)
+			if !ok || s == "n/a" || s == "-" {
+				return nil
+			}
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("metrics: xentop %s field %q: %v", name, s, err)
+			}
+			*dst = v
+			return nil
+		}
+		if err := parseU("CPU(sec)", &d.CPUSecs); err != nil {
+			return nil, err
+		}
+		if s, ok := get("CPU(%)"); ok && s != "n/a" && s != "-" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("metrics: xentop CPU%% field %q: %v", s, err)
+			}
+			d.CPUPct = v
+		}
+		if err := parseU("MEM(k)", &d.MemKB); err != nil {
+			return nil, err
+		}
+		if s, ok := get("VCPUS"); ok {
+			if v, err := strconv.Atoi(s); err == nil {
+				d.VCPUs = v
+			}
+		}
+		if err := parseU("NETTX(k)", &d.NetTxKB); err != nil {
+			return nil, err
+		}
+		if err := parseU("NETRX(k)", &d.NetRxKB); err != nil {
+			return nil, err
+		}
+		domains = append(domains, d)
+	}
+	if cols == nil {
+		return nil, fmt.Errorf("metrics: xentop output has no NAME header")
+	}
+	return domains, nil
+}
+
+// DomainCPU computes the CPU utilization of one domain between two xentop
+// snapshots taken dt seconds apart, in percent of one physical core — the
+// paper's host-side measurement for XEN experiments.
+func DomainCPU(before, after []XentopDomain, name string, dtSeconds float64) (float64, error) {
+	if dtSeconds <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive interval %v", dtSeconds)
+	}
+	b, err := findDomain(before, name)
+	if err != nil {
+		return 0, err
+	}
+	a, err := findDomain(after, name)
+	if err != nil {
+		return 0, err
+	}
+	if a.CPUSecs < b.CPUSecs {
+		return 0, fmt.Errorf("metrics: domain %q CPU counter went backwards", name)
+	}
+	return float64(a.CPUSecs-b.CPUSecs) / dtSeconds * 100, nil
+}
+
+func findDomain(ds []XentopDomain, name string) (XentopDomain, error) {
+	for _, d := range ds {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return XentopDomain{}, fmt.Errorf("metrics: domain %q not in xentop output", name)
+}
+
+// PidSampler computes a process's CPU utilization from successive
+// /proc/<pid>/stat snapshots — the paper's methodology for measuring the
+// qemu process from the KVM host ("we first determined the process ID of
+// the corresponding qemu process, afterwards traced the CPU utilization for
+// that process using the /proc/<process ID>/stat interface").
+type PidSampler struct {
+	src      Source
+	hz       float64
+	prev     PidCPU
+	havePrev bool
+}
+
+// NewPidSampler creates a sampler over a /proc/<pid>/stat source. hz is the
+// kernel's USER_HZ (jiffies per second); zero means the Linux default 100.
+func NewPidSampler(src Source, hz float64) *PidSampler {
+	if hz <= 0 {
+		hz = 100
+	}
+	return &PidSampler{src: src, hz: hz}
+}
+
+// Sample reads the source and returns the process's user- and system-mode
+// utilization (percent of one core) since the previous call, given the
+// elapsed wall time. The first call primes the baseline and returns
+// ok=false.
+func (s *PidSampler) Sample(dtSeconds float64) (usrPct, sysPct float64, ok bool, err error) {
+	text, err := s.src.ReadStat()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	cur, err := ParsePidStat(text)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if !s.havePrev {
+		s.prev = cur
+		s.havePrev = true
+		return 0, 0, false, nil
+	}
+	if dtSeconds <= 0 {
+		return 0, 0, false, fmt.Errorf("metrics: non-positive interval %v", dtSeconds)
+	}
+	du := float64(cur.UTime-s.prev.UTime) / s.hz / dtSeconds * 100
+	ds := float64(cur.STime-s.prev.STime) / s.hz / dtSeconds * 100
+	if cur.UTime < s.prev.UTime || cur.STime < s.prev.STime {
+		du, ds = 0, 0 // counter wrap or pid reuse: skip interval
+	}
+	s.prev = cur
+	return du, ds, true, nil
+}

@@ -1,0 +1,128 @@
+package metrics_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"adaptio/internal/metrics"
+)
+
+const xentopBatch = `xentop - 17:23:01   Xen 3.4.2
+3 domains: 1 running, 2 blocked, 0 paused, 0 crashed, 0 dying, 0 shutdown
+Mem: 33521852k total, 33324092k used, 197760k free    CPUs: 8 @ 2666MHz
+      NAME  STATE   CPU(sec) CPU(%)     MEM(k) MEM(%)  MAXMEM(k) MAXMEM(%) VCPUS NETS NETTX(k) NETRX(k) VBDS   VBD_OO   VBD_RD   VBD_WR SSID
+  Domain-0 -----r       8206    2.3    2093056    6.2   no limit       n/a     8    0        0        0    0        0        0        0    0
+     domU1 --b---       1234   45.1    2097152    6.3    2097152       6.3     1    1    55123    18234    1        0     1200     3400    0
+     domU2 --b---        777    0.4    2097152    6.3    2097152       6.3     1    1      100      200    1        0       10       20    0
+`
+
+func TestParseXentop(t *testing.T) {
+	domains, err := metrics.ParseXentop(xentopBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) != 3 {
+		t.Fatalf("parsed %d domains, want 3", len(domains))
+	}
+	d0 := domains[0]
+	if d0.Name != "Domain-0" || d0.CPUSecs != 8206 || d0.CPUPct != 2.3 || d0.VCPUs != 8 {
+		t.Fatalf("Domain-0 parsed wrong: %+v", d0)
+	}
+	d1 := domains[1]
+	if d1.Name != "domU1" || d1.CPUSecs != 1234 || d1.CPUPct != 45.1 {
+		t.Fatalf("domU1 parsed wrong: %+v", d1)
+	}
+	if d1.NetTxKB != 55123 || d1.NetRxKB != 18234 {
+		t.Fatalf("domU1 net counters wrong: %+v", d1)
+	}
+	if d1.MemKB != 2097152 || d1.State != "--b---" {
+		t.Fatalf("domU1 mem/state wrong: %+v", d1)
+	}
+}
+
+func TestParseXentopErrors(t *testing.T) {
+	if _, err := metrics.ParseXentop("no header here\n"); err == nil {
+		t.Error("headerless output accepted")
+	}
+	bad := "NAME STATE CPU(sec) CPU(%)\nfoo --b--- notanumber 1.0\n"
+	if _, err := metrics.ParseXentop(bad); err == nil {
+		t.Error("garbage CPU(sec) accepted")
+	}
+	// "n/a" placeholders must not error (Domain-0 MAXMEM(%) is n/a).
+	ok := "NAME STATE CPU(sec) CPU(%)\nDomain-0 -----r 10 n/a\n"
+	domains, err := metrics.ParseXentop(ok)
+	if err != nil || len(domains) != 1 {
+		t.Fatalf("n/a placeholder rejected: %v", err)
+	}
+}
+
+func TestDomainCPU(t *testing.T) {
+	before, err := metrics.ParseXentop("NAME STATE CPU(sec) CPU(%)\ndomU1 --b--- 100 0.0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := metrics.ParseXentop("NAME STATE CPU(sec) CPU(%)\ndomU1 --b--- 145 0.0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct, err := metrics.DomainCPU(before, after, "domU1", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pct-45) > 1e-9 {
+		t.Fatalf("DomainCPU = %v, want 45", pct)
+	}
+	if _, err := metrics.DomainCPU(before, after, "missing", 100); err == nil {
+		t.Error("missing domain accepted")
+	}
+	if _, err := metrics.DomainCPU(after, before, "domU1", 100); err == nil {
+		t.Error("backwards counter accepted")
+	}
+	if _, err := metrics.DomainCPU(before, after, "domU1", 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestPidSampler(t *testing.T) {
+	snapshots := []string{
+		"4242 (qemu-kvm) S 1 1 1 0 -1 0 0 0 0 0 1000 500 0 0 20 0 5 0 1 1 1",
+		"4242 (qemu-kvm) S 1 1 1 0 -1 0 0 0 0 0 1080 560 0 0 20 0 5 0 1 1 1",
+	}
+	i := 0
+	src := metrics.FuncSource(func() (string, error) {
+		s := snapshots[i]
+		if i < len(snapshots)-1 {
+			i++
+		}
+		return s, nil
+	})
+	s := metrics.NewPidSampler(src, 100)
+	if _, _, ok, err := s.Sample(1); ok || err != nil {
+		t.Fatalf("first sample should only prime: ok=%v err=%v", ok, err)
+	}
+	usr, sys, ok, err := s.Sample(1)
+	if err != nil || !ok {
+		t.Fatalf("sample failed: %v", err)
+	}
+	// +80 utime jiffies over 1 s at HZ=100 -> 80%; +60 stime -> 60%.
+	if math.Abs(usr-80) > 1e-9 || math.Abs(sys-60) > 1e-9 {
+		t.Fatalf("usr/sys = %v/%v, want 80/60", usr, sys)
+	}
+}
+
+func TestPidSamplerErrors(t *testing.T) {
+	src := metrics.FuncSource(func() (string, error) { return "", errors.New("gone") })
+	s := metrics.NewPidSampler(src, 0)
+	if _, _, _, err := s.Sample(1); err == nil {
+		t.Error("source error swallowed")
+	}
+	good := metrics.FuncSource(func() (string, error) {
+		return "1 (x) S 1 1 1 0 -1 0 0 0 0 0 10 10 0 0 20 0 1 0 1 1 1", nil
+	})
+	s2 := metrics.NewPidSampler(good, 100)
+	s2.Sample(1)
+	if _, _, _, err := s2.Sample(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

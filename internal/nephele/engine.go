@@ -1,0 +1,483 @@
+package nephele
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TaskContext gives a running subtask access to its input and output gates
+// and its position in the parallel plan.
+type TaskContext struct {
+	Job         string
+	Vertex      string
+	Subtask     int
+	Parallelism int
+
+	ctx     context.Context
+	inputs  []*InputGate
+	outputs []*OutputGate
+}
+
+// Context returns the job's cancellation context.
+func (c *TaskContext) Context() context.Context { return c.ctx }
+
+// NumInputs returns the number of input gates (one per incoming edge).
+func (c *TaskContext) NumInputs() int { return len(c.inputs) }
+
+// NumOutputs returns the number of output gates (one per outgoing edge).
+func (c *TaskContext) NumOutputs() int { return len(c.outputs) }
+
+// Input returns the i-th input gate.
+func (c *TaskContext) Input(i int) *InputGate { return c.inputs[i] }
+
+// Output returns the i-th output gate.
+func (c *TaskContext) Output(i int) *OutputGate { return c.outputs[i] }
+
+// InputGate merges the record streams of all producer subtasks of one edge.
+type InputGate struct {
+	openFns []func() (io.Reader, error)
+	start   sync.Once
+	recs    chan inRec
+}
+
+type inRec struct {
+	rec []byte
+	err error
+}
+
+// ReadRecord returns the next record from any producer. It returns io.EOF
+// once every producer stream has ended. The returned slice is owned by the
+// caller (it is not reused).
+func (g *InputGate) ReadRecord() ([]byte, error) {
+	g.start.Do(func() {
+		ch := make(chan inRec, 64)
+		g.recs = ch
+		var wg sync.WaitGroup
+		for _, open := range g.openFns {
+			wg.Add(1)
+			go func(open func() (io.Reader, error)) {
+				defer wg.Done()
+				r, err := open()
+				if err != nil {
+					ch <- inRec{err: err}
+					return
+				}
+				rr := NewRecordReader(r)
+				for {
+					rec, err := rr.ReadRecord()
+					if err == io.EOF {
+						return
+					}
+					if err != nil {
+						ch <- inRec{err: err}
+						return
+					}
+					ch <- inRec{rec: append([]byte(nil), rec...)}
+				}
+			}(open)
+		}
+		go func() {
+			wg.Wait()
+			close(ch)
+		}()
+	})
+	r, ok := <-g.recs
+	if !ok {
+		return nil, io.EOF
+	}
+	return r.rec, r.err
+}
+
+// OutputGate distributes records over all consumer subtasks of one edge
+// according to the edge's Distribution pattern.
+type OutputGate struct {
+	writers []*RecordWriter
+	next    int
+	dist    Distribution
+	key     func([]byte) []byte
+	closers []func() error
+	wires   []*countingWriter
+	stats   []func() levelStats
+}
+
+// WriteRecord emits one record according to the edge's distribution:
+// round-robin to the next consumer, broadcast to all, or hash-partitioned
+// by key.
+func (g *OutputGate) WriteRecord(p []byte) error {
+	switch g.dist {
+	case Broadcast:
+		for _, w := range g.writers {
+			if err := w.WriteRecord(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	case HashPartition:
+		key := p
+		if g.key != nil {
+			key = g.key(p)
+		}
+		return g.writers[fnv1a(key)%uint64(len(g.writers))].WriteRecord(p)
+	default: // RoundRobin
+		w := g.writers[g.next]
+		g.next = (g.next + 1) % len(g.writers)
+		return w.WriteRecord(p)
+	}
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined to keep record routing
+// allocation-free.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (g *OutputGate) close() error {
+	var first error
+	for _, c := range g.closers {
+		if err := c(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+type levelStats struct{ switches int64 }
+
+// countingWriter counts transport-level (wire) bytes.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// EdgeStats aggregates what flowed over one edge.
+type EdgeStats struct {
+	// Records and AppBytes count the record payloads (pre-compression).
+	Records  int64
+	AppBytes int64
+	// WireBytes counts bytes on the transport (post-compression; equals
+	// payload plus framing when compression is off).
+	WireBytes int64
+	// LevelSwitches counts adaptive compression level changes.
+	LevelSwitches int64
+}
+
+// VertexStats aggregates one vertex's execution.
+type VertexStats struct {
+	// Subtasks is the vertex's parallelism.
+	Subtasks int
+	// Busiest and Total are the longest single subtask runtime and the
+	// summed runtime across subtasks (Total/Subtasks = mean).
+	Busiest time.Duration
+	Total   time.Duration
+}
+
+// JobStats summarizes an executed job.
+type JobStats struct {
+	Duration time.Duration
+	Edges    map[string]EdgeStats
+	Vertices map[string]VertexStats
+}
+
+// edgeRuntime is the executable form of one edge.
+type edgeRuntime struct {
+	edge  *Edge
+	links [][]link // [producer][consumer]
+
+	mu    sync.Mutex
+	stats EdgeStats
+
+	fileLinks []*fileLink
+}
+
+func (rt *edgeRuntime) add(s EdgeStats) {
+	rt.mu.Lock()
+	rt.stats.Records += s.Records
+	rt.stats.AppBytes += s.AppBytes
+	rt.stats.WireBytes += s.WireBytes
+	rt.stats.LevelSwitches += s.LevelSwitches
+	rt.mu.Unlock()
+}
+
+// Engine executes job graphs.
+type Engine struct {
+	// TempDir hosts file-channel staging files; empty means os.TempDir().
+	TempDir string
+}
+
+// Execute runs the job to completion. It returns the first task or channel
+// error; on error all channels are torn down and every subtask unblocked.
+func (e *Engine) Execute(ctx context.Context, g *JobGraph) (*JobStats, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	runtimes := make(map[*Edge]*edgeRuntime, len(g.edges))
+	var allLinks []link
+	for _, edge := range g.edges {
+		rt := &edgeRuntime{edge: edge}
+		np, nc := edge.from.parallelism, edge.to.parallelism
+		rt.links = make([][]link, np)
+		for pi := 0; pi < np; pi++ {
+			rt.links[pi] = make([]link, nc)
+			for ci := 0; ci < nc; ci++ {
+				l, err := e.newLink(edge, rt, pi, ci)
+				if err != nil {
+					abortAll(allLinks, err)
+					return nil, err
+				}
+				rt.links[pi][ci] = l
+				allLinks = append(allLinks, l)
+			}
+		}
+		runtimes[edge] = rt
+	}
+	defer func() {
+		for _, rt := range runtimes {
+			for _, fl := range rt.fileLinks {
+				fl.cleanup()
+			}
+		}
+	}()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		vsMu     sync.Mutex
+		vstats   = map[string]VertexStats{}
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+		abortAll(allLinks, err)
+	}
+
+	// Propagate external cancellation into the channel mesh.
+	stopWatch := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+		case <-stopWatch:
+		}
+	}()
+
+	for _, v := range g.vertices {
+		for sub := 0; sub < v.parallelism; sub++ {
+			wg.Add(1)
+			go func(v *Vertex, sub int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						fail(fmt.Errorf("nephele: task %s[%d] panicked: %v", v.name, sub, r))
+					}
+				}()
+				subStart := time.Now()
+				err := runSubtask(runCtx, g, v, sub, runtimes)
+				elapsed := time.Since(subStart)
+				vsMu.Lock()
+				vs := vstats[v.name]
+				vs.Subtasks = v.parallelism
+				vs.Total += elapsed
+				if elapsed > vs.Busiest {
+					vs.Busiest = elapsed
+				}
+				vstats[v.name] = vs
+				vsMu.Unlock()
+				if err != nil {
+					fail(fmt.Errorf("nephele: task %s[%d]: %w", v.name, sub, err))
+				}
+			}(v, sub)
+		}
+	}
+	wg.Wait()
+	close(stopWatch)
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	stats := &JobStats{Duration: time.Since(start), Edges: map[string]EdgeStats{}, Vertices: vstats}
+	for _, rt := range runtimes {
+		rt.mu.Lock()
+		stats.Edges[rt.edge.Label()] = rt.stats
+		rt.mu.Unlock()
+	}
+	return stats, nil
+}
+
+func (e *Engine) newLink(edge *Edge, rt *edgeRuntime, pi, ci int) (link, error) {
+	switch edge.spec.Type {
+	case InMemory:
+		return newMemLink(), nil
+	case Network:
+		return newNetLink()
+	case File:
+		fl, err := newFileLink(e.TempDir, fmt.Sprintf("%s-%d-%d", edge.from.name, pi, ci))
+		if err != nil {
+			return nil, err
+		}
+		rt.fileLinks = append(rt.fileLinks, fl)
+		return fl, nil
+	default:
+		return nil, fmt.Errorf("nephele: unknown channel type %v", edge.spec.Type)
+	}
+}
+
+// runSubtask wires one subtask's gates, runs its task, then flushes and
+// closes the output side and accounts edge statistics.
+func runSubtask(ctx context.Context, g *JobGraph, v *Vertex, sub int, runtimes map[*Edge]*edgeRuntime) error {
+	tc := &TaskContext{
+		Job:         g.name,
+		Vertex:      v.name,
+		Subtask:     sub,
+		Parallelism: v.parallelism,
+		ctx:         ctx,
+	}
+
+	// Input gates: one per incoming edge; readers open lazily inside the
+	// gate goroutines so blocking transports (file staging, TCP accept)
+	// do not stall task startup.
+	for _, edge := range v.inputs {
+		rt := runtimes[edge]
+		spec := edge.spec
+		gate := &InputGate{}
+		for pi := 0; pi < edge.from.parallelism; pi++ {
+			l := rt.links[pi][sub]
+			gate.openFns = append(gate.openFns, func() (io.Reader, error) {
+				r, err := l.openReader()
+				if err != nil {
+					return nil, err
+				}
+				return wrapReader(r, spec)
+			})
+		}
+		tc.inputs = append(tc.inputs, gate)
+	}
+
+	// Output gates: open writers eagerly (TCP dials succeed against the
+	// listener backlog even before the consumer accepts).
+	type outAccounting struct {
+		rt    *edgeRuntime
+		gate  *OutputGate
+		wires []*countingWriter
+		stats []func() levelStats
+	}
+	var accounting []outAccounting
+	for _, edge := range v.outputs {
+		rt := runtimes[edge]
+		gate := &OutputGate{dist: edge.spec.Distribution, key: edge.spec.Key}
+		acct := outAccounting{rt: rt, gate: gate}
+		for ci := 0; ci < edge.to.parallelism; ci++ {
+			wc, err := rt.links[sub][ci].openWriter()
+			if err != nil {
+				return err
+			}
+			counter := &countingWriter{w: wc}
+			wrapped, closeFn, statsFn, err := wrapWriter(&writeCloserPair{counter, wc}, edge.spec)
+			if err != nil {
+				wc.Close()
+				return err
+			}
+			gate.writers = append(gate.writers, NewRecordWriter(wrapped))
+			gate.closers = append(gate.closers, closeFn)
+			acct.wires = append(acct.wires, counter)
+			sf := statsFn
+			acct.stats = append(acct.stats, func() levelStats {
+				if s := sf(); s != nil {
+					return levelStats{switches: s.LevelSwitches}
+				}
+				return levelStats{}
+			})
+		}
+		accounting = append(accounting, acct)
+		tc.outputs = append(tc.outputs, gate)
+	}
+
+	task := v.factory()
+	runErr := task.Run(tc)
+
+	if runErr == nil {
+		// Drain any unread input so producers blocked on full transport
+		// buffers can complete: a Nephele channel is always consumed to
+		// its end even if the task logic stopped early.
+		for _, gate := range tc.inputs {
+			for {
+				if _, err := gate.ReadRecord(); err != nil {
+					break
+				}
+			}
+		}
+	}
+
+	// Flush and close outputs even on error so consumers unblock; the
+	// engine's abort path handles hard failures.
+	for _, acct := range accounting {
+		if err := acct.gate.close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	for _, acct := range accounting {
+		var s EdgeStats
+		for _, w := range acct.gate.writers {
+			recs, bytes := w.Counters()
+			s.Records += recs
+			s.AppBytes += bytes
+		}
+		for _, c := range acct.wires {
+			s.WireBytes += c.n
+		}
+		for _, fn := range acct.stats {
+			s.LevelSwitches += fn().switches
+		}
+		acct.rt.add(s)
+	}
+	return nil
+}
+
+// writeCloserPair writes through w and closes c.
+type writeCloserPair struct {
+	w io.Writer
+	c io.Closer
+}
+
+func (p *writeCloserPair) Write(b []byte) (int, error) { return p.w.Write(b) }
+func (p *writeCloserPair) Close() error                { return p.c.Close() }
+
+func abortAll(links []link, err error) {
+	for _, l := range links {
+		l.abort(err)
+	}
+}

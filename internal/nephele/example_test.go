@@ -1,0 +1,59 @@
+package nephele_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"adaptio/internal/nephele"
+)
+
+// ExampleEngine_Execute builds and runs a two-stage job over an adaptively
+// compressed in-process network channel.
+func ExampleEngine_Execute() {
+	g := nephele.NewJobGraph("example")
+	src := g.AddVertex("numbers", nephele.SourceFunc(
+		func(ctx *nephele.TaskContext, emit func([]byte) error) error {
+			for i := 0; i < 100; i++ {
+				if err := emit([]byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}), 1)
+	count := 0
+	sink := g.AddVertex("count", nephele.SinkFunc(func(rec []byte) error {
+		count++
+		return nil
+	}), 1)
+	if _, err := g.Connect(src, sink, nephele.ChannelSpec{
+		Type:        nephele.Network,
+		Compression: nephele.CompressionAdaptive,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := (&nephele.Engine{}).Execute(context.Background(), g); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(count)
+	// Output: 100
+}
+
+// ExampleJobGraph_DOT exports an execution plan for Graphviz.
+func ExampleJobGraph_DOT() {
+	g := nephele.NewJobGraph("plan")
+	a := g.AddVertex("extract", nephele.SourceFunc(nil), 2)
+	b := g.AddVertex("load", nephele.SinkFunc(nil), 1)
+	if _, err := g.Connect(a, b, nephele.ChannelSpec{Type: nephele.File, Compression: nephele.CompressionStatic, StaticLevel: 1}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(g.DOT())
+	// Output:
+	// digraph "plan" {
+	//   rankdir=LR;
+	//   node [shape=box];
+	//   "extract" [label="extract\nx2"];
+	//   "load" [label="load\nx1"];
+	//   "extract" -> "load" [label="file\nstatic L1", style=dashed];
+	// }
+}

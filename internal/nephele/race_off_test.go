@@ -1,0 +1,6 @@
+//go:build !race
+
+package nephele_test
+
+// raceSlow reports whether the race detector is active; see race_on_test.go.
+const raceSlow = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package nephele_test
+
+// raceSlow reports that the race detector's slowdown invalidates wall-clock
+// performance comparisons in this package.
+const raceSlow = true

@@ -1,0 +1,123 @@
+// Package nephele is a miniature reimplementation of the Nephele parallel
+// data processing framework (Warneke & Kao, MTAGS 2009) — the system the
+// paper integrated its adaptive compression scheme into (Section III-B).
+//
+// Jobs are expressed as directed acyclic graphs: each vertex is a task, each
+// edge a communication channel. Three channel types exist, mirroring
+// Nephele: in-memory, TCP network, and file channels. Network and file
+// channels optionally compress their traffic — statically at a fixed level
+// or adaptively through the rate-based decision model — completely
+// transparently to the task code, exactly as the paper describes ("The
+// implementation is completely transparent to the tasks, so there is no
+// modification required to their program code").
+package nephele
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxRecordSize bounds a single record; larger writes are rejected and
+// larger length prefixes on the wire are treated as corruption.
+const MaxRecordSize = 16 << 20
+
+// ErrRecordTooLarge is returned for records exceeding MaxRecordSize.
+var ErrRecordTooLarge = errors.New("nephele: record exceeds maximum size")
+
+// RecordWriter frames records onto a byte stream with a uvarint length
+// prefix.
+type RecordWriter struct {
+	w       io.Writer
+	lenBuf  [binary.MaxVarintLen64]byte
+	records int64
+	bytes   int64
+}
+
+// NewRecordWriter wraps w.
+func NewRecordWriter(w io.Writer) *RecordWriter { return &RecordWriter{w: w} }
+
+// WriteRecord writes one record.
+func (rw *RecordWriter) WriteRecord(p []byte) error {
+	if len(p) > MaxRecordSize {
+		return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(p))
+	}
+	n := binary.PutUvarint(rw.lenBuf[:], uint64(len(p)))
+	if _, err := rw.w.Write(rw.lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := rw.w.Write(p); err != nil {
+		return err
+	}
+	rw.records++
+	rw.bytes += int64(len(p))
+	return nil
+}
+
+// Counters returns records and payload bytes written.
+func (rw *RecordWriter) Counters() (records, bytes int64) { return rw.records, rw.bytes }
+
+// RecordReader decodes records framed by RecordWriter.
+type RecordReader struct {
+	r       io.Reader
+	br      byteReaderAdapter
+	buf     []byte
+	records int64
+}
+
+// NewRecordReader wraps r.
+func NewRecordReader(r io.Reader) *RecordReader {
+	rr := &RecordReader{r: r}
+	rr.br.r = r
+	return rr
+}
+
+// ReadRecord returns the next record. The returned slice is reused across
+// calls; callers that retain it must copy. It returns io.EOF at a clean end
+// of stream and io.ErrUnexpectedEOF when the stream ends inside a record.
+func (rr *RecordReader) ReadRecord() ([]byte, error) {
+	// binary.ReadUvarint returns io.EOF only when no byte of the varint
+	// was read (a clean record boundary) and io.ErrUnexpectedEOF when the
+	// stream ends mid-varint.
+	size, err := binary.ReadUvarint(&rr.br)
+	if err != nil {
+		return nil, err
+	}
+	if size > MaxRecordSize {
+		return nil, fmt.Errorf("nephele: corrupt stream: record length %d", size)
+	}
+	if cap(rr.buf) < int(size) {
+		rr.buf = make([]byte, size)
+	}
+	rr.buf = rr.buf[:size]
+	if _, err := io.ReadFull(rr.r, rr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	rr.records++
+	return rr.buf, nil
+}
+
+// Records returns the number of records read.
+func (rr *RecordReader) Records() int64 { return rr.records }
+
+// byteReaderAdapter provides io.ByteReader over an io.Reader.
+type byteReaderAdapter struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReaderAdapter) ReadByte() (byte, error) {
+	for {
+		n, err := b.r.Read(b.one[:])
+		if n == 1 {
+			return b.one[0], nil
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+}

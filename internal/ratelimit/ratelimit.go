@@ -1,0 +1,104 @@
+// Package ratelimit provides a token-bucket rate-limited io.Writer. The
+// examples and integration tests use it to emulate the scarce, shared wire
+// bandwidth of a cloud NIC on top of fast local transports, which is the
+// regime where adaptive compression pays off.
+package ratelimit
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// Writer throttles writes to an underlying writer at a fixed byte rate.
+// It is safe for concurrent use (writes serialize).
+type Writer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	rate  float64 // bytes per second
+	burst float64 // bucket capacity in bytes
+
+	tokens float64
+	last   time.Time
+	sleep  func(time.Duration) // test seam
+	now    func() time.Time    // test seam
+}
+
+// NewWriter wraps w with a byte-rate limit. burst is the bucket size; zero
+// means one typical block (128 KB). rate must be positive.
+func NewWriter(w io.Writer, bytesPerSecond float64, burst int) (*Writer, error) {
+	if w == nil {
+		return nil, errors.New("ratelimit: nil writer")
+	}
+	if bytesPerSecond <= 0 {
+		return nil, errors.New("ratelimit: non-positive rate")
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = 128 << 10
+	}
+	return &Writer{
+		w:      w,
+		rate:   bytesPerSecond,
+		burst:  b,
+		tokens: b,
+		sleep:  time.Sleep,
+		now:    time.Now,
+	}, nil
+}
+
+// Write implements io.Writer. Large writes are split so the instantaneous
+// rate stays close to the configured one.
+func (rl *Writer) Write(p []byte) (int, error) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		chunk := len(p)
+		if float64(chunk) > rl.burst {
+			chunk = int(rl.burst)
+		}
+		rl.take(float64(chunk))
+		n, err := rl.w.Write(p[:chunk])
+		total += n
+		if err != nil {
+			return total, err
+		}
+		p = p[chunk:]
+	}
+	return total, nil
+}
+
+// take blocks until amount tokens are available and consumes them.
+func (rl *Writer) take(amount float64) {
+	now := rl.now()
+	if !rl.last.IsZero() {
+		rl.tokens += now.Sub(rl.last).Seconds() * rl.rate
+		if rl.tokens > rl.burst {
+			rl.tokens = rl.burst
+		}
+	}
+	rl.last = now
+	if rl.tokens >= amount {
+		rl.tokens -= amount
+		return
+	}
+	deficit := amount - rl.tokens
+	wait := time.Duration(deficit / rl.rate * float64(time.Second))
+	rl.sleep(wait)
+	rl.last = rl.now()
+	rl.tokens = 0
+}
+
+// SetRate changes the target rate; used to emulate appearing/disappearing
+// background contention mid-stream.
+func (rl *Writer) SetRate(bytesPerSecond float64) error {
+	if bytesPerSecond <= 0 {
+		return errors.New("ratelimit: non-positive rate")
+	}
+	rl.mu.Lock()
+	rl.rate = bytesPerSecond
+	rl.mu.Unlock()
+	return nil
+}

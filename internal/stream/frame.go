@@ -1,0 +1,163 @@
+// Package stream is the adaptive compression stream layer: it sits between
+// the application and the I/O layer (Section III-A of the paper), cuts the
+// outgoing byte stream into self-describing blocks of at most 128 KB
+// (Nephele's internal buffer size, Section III-B), compresses each block with
+// the level currently selected by the rate-based decision model
+// (internal/core), and frames it so that the receiver can decompress a stream
+// whose compression level changes over time without any coordination.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"adaptio/internal/compress"
+)
+
+// DefaultBlockSize is Nephele's internal buffer size: "Nephele internally
+// buffers data that is written to its file or network channel in memory
+// blocks of at most 128 KB size" (Section III-B).
+const DefaultBlockSize = 128 << 10
+
+// MaxBlockSize bounds the raw length a frame may declare; it protects the
+// receiver against hostile or corrupt headers requesting huge allocations.
+const MaxBlockSize = 1 << 24
+
+// frame header layout (little endian):
+//
+//	offset 0: magic "AC"        (2 bytes)
+//	offset 2: version           (1 byte, currently 1)
+//	offset 3: codec ID          (1 byte)
+//	offset 4: raw length        (4 bytes)
+//	offset 8: compressed length (4 bytes)
+//	offset 12: CRC-32C of the raw (uncompressed) block (4 bytes)
+const (
+	headerSize   = 16
+	frameVersion = 1
+)
+
+var frameMagic = [2]byte{'A', 'C'}
+
+// crcTable is the Castagnoli polynomial table (hardware accelerated on
+// modern CPUs).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFrame is wrapped by all framing errors.
+var ErrBadFrame = errors.New("stream: bad frame")
+
+// header is the decoded form of a frame header.
+type header struct {
+	codecID uint8
+	rawLen  int
+	compLen int
+	crc     uint32
+}
+
+func putHeader(dst []byte, h header) {
+	dst[0] = frameMagic[0]
+	dst[1] = frameMagic[1]
+	dst[2] = frameVersion
+	dst[3] = h.codecID
+	binary.LittleEndian.PutUint32(dst[4:], uint32(h.rawLen))
+	binary.LittleEndian.PutUint32(dst[8:], uint32(h.compLen))
+	binary.LittleEndian.PutUint32(dst[12:], h.crc)
+}
+
+func parseHeader(src []byte) (header, error) {
+	var h header
+	if src[0] != frameMagic[0] || src[1] != frameMagic[1] {
+		return h, fmt.Errorf("%w: bad magic %q", ErrBadFrame, src[:2])
+	}
+	if src[2] != frameVersion {
+		return h, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, src[2])
+	}
+	h.codecID = src[3]
+	h.rawLen = int(binary.LittleEndian.Uint32(src[4:]))
+	h.compLen = int(binary.LittleEndian.Uint32(src[8:]))
+	h.crc = binary.LittleEndian.Uint32(src[12:])
+	if h.rawLen > MaxBlockSize {
+		return h, fmt.Errorf("%w: raw length %d exceeds limit", ErrBadFrame, h.rawLen)
+	}
+	if h.compLen > MaxBlockSize+MaxBlockSize/64+256 {
+		return h, fmt.Errorf("%w: compressed length %d exceeds limit", ErrBadFrame, h.compLen)
+	}
+	return h, nil
+}
+
+// encodeFrame compresses block with the given ladder level and appends one
+// complete frame (header + payload) to dst. If the codec fails to shrink
+// the block, the block is stored raw under the identity codec so a frame
+// never expands by more than the header (the standard stored-block
+// fallback). It returns the extended dst and the codec ID actually used.
+func encodeFrame(dst []byte, ladder compress.Ladder, level int, block []byte) (out []byte, codecID uint8) {
+	codec := ladder[level].Codec
+	hdrAt := len(dst)
+	dst = append(dst, make([]byte, headerSize)...)
+	dst = codec.Compress(dst, block)
+	codecID = codec.ID()
+	compLen := len(dst) - hdrAt - headerSize
+	if compLen >= len(block) && codecID != compress.IDNone {
+		dst = append(dst[:hdrAt+headerSize], block...)
+		compLen = len(block)
+		codecID = compress.IDNone
+	}
+	putHeader(dst[hdrAt:], header{
+		codecID: codecID,
+		rawLen:  len(block),
+		compLen: compLen,
+		crc:     crc32.Checksum(block, crcTable),
+	})
+	return dst, codecID
+}
+
+// writeFrame encodes one frame into scratch and writes it to w. It returns
+// the number of payload (compressed) bytes written, the codec ID actually
+// used, and any I/O error.
+func writeFrame(w io.Writer, ladder compress.Ladder, level int, block, scratch []byte) (payload int, codecID uint8, err error) {
+	frame, codecID := encodeFrame(scratch[:0], ladder, level, block)
+	if _, err := w.Write(frame); err != nil {
+		return 0, codecID, err
+	}
+	return len(frame) - headerSize, codecID, nil
+}
+
+// readFrame reads and verifies one frame from r, appending the decompressed
+// block to dst. payloadBuf is a reusable scratch buffer returned (possibly
+// grown) for the next call. It returns io.EOF at a clean end of stream and a
+// framing error if the stream ends inside a frame.
+func readFrame(r io.Reader, dst, payloadBuf []byte) (out, scratch []byte, rawLen int, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return dst, payloadBuf, 0, io.EOF
+		}
+		return dst, payloadBuf, 0, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
+	}
+	h, err := parseHeader(hdr[:])
+	if err != nil {
+		return dst, payloadBuf, 0, err
+	}
+	if cap(payloadBuf) < h.compLen {
+		payloadBuf = make([]byte, h.compLen)
+	}
+	payloadBuf = payloadBuf[:h.compLen]
+	if _, err := io.ReadFull(r, payloadBuf); err != nil {
+		return dst, payloadBuf, 0, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	codec, err := compress.ByID(h.codecID)
+	if err != nil {
+		return dst, payloadBuf, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	start := len(dst)
+	dst, err = codec.Decompress(dst, payloadBuf, h.rawLen)
+	if err != nil {
+		return dst[:start], payloadBuf, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if got := crc32.Checksum(dst[start:], crcTable); got != h.crc {
+		return dst[:start], payloadBuf, 0, fmt.Errorf("%w: CRC mismatch (got %08x, want %08x)", ErrBadFrame, got, h.crc)
+	}
+	return dst, payloadBuf, h.rawLen, nil
+}

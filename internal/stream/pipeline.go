@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"sync"
+
+	"adaptio/internal/compress"
+)
+
+// pipeline is the order-preserving parallel compression engine behind
+// WriterConfig.Parallelism: blocks are compressed concurrently by a worker
+// pool, then written downstream in submission order. Compression dominates
+// the stream layer's CPU cost, so on multicore senders the pool multiplies
+// throughput without changing the wire format (frames remain strictly
+// ordered and self-contained).
+type pipeline struct {
+	ladder compress.Ladder
+	dst    writeSink
+
+	jobs chan compressJob
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	done      map[uint64]encodedFrame // finished but not yet written
+	nextSub   uint64                  // next sequence number to assign
+	nextWrite uint64                  // next sequence number to write
+	err       error
+	stopped   bool
+
+	workerWG  sync.WaitGroup
+	flusherWG sync.WaitGroup
+}
+
+// writeSink receives ordered frames and accounts them; implemented by
+// Writer.
+type writeSink interface {
+	writeEncodedFrame(f encodedFrame) error
+}
+
+type compressJob struct {
+	seq   uint64
+	level int
+	block []byte
+}
+
+type encodedFrame struct {
+	frame   []byte
+	rawLen  int
+	level   int
+	codecID uint8
+}
+
+func newPipeline(ladder compress.Ladder, dst writeSink, workers int) *pipeline {
+	p := &pipeline{
+		ladder: ladder,
+		dst:    dst,
+		jobs:   make(chan compressJob, workers*2),
+		done:   make(map[uint64]encodedFrame),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		p.workerWG.Add(1)
+		go p.worker()
+	}
+	p.flusherWG.Add(1)
+	go p.flusher()
+	return p
+}
+
+func (p *pipeline) worker() {
+	defer p.workerWG.Done()
+	for job := range p.jobs {
+		frame, codecID := encodeFrame(nil, p.ladder, job.level, job.block)
+		p.mu.Lock()
+		p.done[job.seq] = encodedFrame{frame: frame, rawLen: len(job.block), level: job.level, codecID: codecID}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// flusher writes finished frames downstream in sequence order.
+func (p *pipeline) flusher() {
+	defer p.flusherWG.Done()
+	for {
+		p.mu.Lock()
+		for {
+			if _, ok := p.done[p.nextWrite]; ok {
+				break
+			}
+			if p.stopped && p.nextWrite == p.nextSub {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+		}
+		f := p.done[p.nextWrite]
+		delete(p.done, p.nextWrite)
+		p.mu.Unlock()
+
+		err := p.dst.writeEncodedFrame(f)
+
+		p.mu.Lock()
+		p.nextWrite++
+		if err != nil && p.err == nil {
+			p.err = err
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// submit enqueues one block (which the pipeline takes ownership of) at the
+// given level. It returns any asynchronous write error observed so far.
+func (p *pipeline) submit(block []byte, level int) error {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		panic("stream: submit on stopped pipeline")
+	}
+	seq := p.nextSub
+	p.nextSub++
+	err := p.err
+	p.mu.Unlock()
+	p.jobs <- compressJob{seq: seq, level: level, block: block}
+	return err
+}
+
+// drain blocks until every submitted frame has been written downstream and
+// returns the first asynchronous error.
+func (p *pipeline) drain() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.nextWrite < p.nextSub {
+		p.cond.Wait()
+	}
+	return p.err
+}
+
+// stop drains, shuts the workers down and returns the first error. The
+// pipeline cannot be used afterwards.
+func (p *pipeline) stop() error {
+	p.mu.Lock()
+	if p.stopped {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	p.mu.Unlock()
+
+	err := p.drain()
+
+	p.mu.Lock()
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	close(p.jobs)
+	p.workerWG.Wait()
+	p.flusherWG.Wait()
+	return err
+}

@@ -1,0 +1,211 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"adaptio/internal/compress"
+)
+
+// ParallelReader decompresses a frame stream on a worker pool while
+// delivering the application bytes strictly in order — the receive-side
+// counterpart of WriterConfig.Parallelism. Frames are read from the source
+// sequentially (the wire is serial anyway); decompression and CRC
+// verification fan out across workers.
+//
+// A ParallelReader must be Closed when abandoned before EOF, or its
+// goroutines leak. Reading to EOF (or any error) also releases them.
+type ParallelReader struct {
+	out     chan pframe
+	cur     []byte
+	err     error
+	closeCh chan struct{}
+	once    sync.Once
+
+	rawBytes  int64
+	wireBytes int64
+	blocks    int64
+}
+
+type pframe struct {
+	seq  uint64
+	data []byte
+	err  error
+	wire int64
+}
+
+// NewParallelReader creates a reader over src with the given worker count
+// (minimum 1).
+func NewParallelReader(src io.Reader, workers int) (*ParallelReader, error) {
+	if src == nil {
+		return nil, errors.New("stream: nil source reader")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &ParallelReader{
+		out:     make(chan pframe, workers*2),
+		closeCh: make(chan struct{}),
+	}
+	jobs := make(chan pframe, workers*2)
+
+	// Demultiplexer: read raw frames sequentially, hand them to workers.
+	var wg sync.WaitGroup
+	go func() {
+		defer close(jobs)
+		var seq uint64
+		for {
+			raw, _, err := readRawFrame(src)
+			if err == io.EOF {
+				return
+			}
+			job := pframe{seq: seq, data: raw, err: err, wire: int64(len(raw))}
+			select {
+			case jobs <- job:
+			case <-r.closeCh:
+				return
+			}
+			if err != nil {
+				return
+			}
+			seq++
+		}
+	}()
+
+	// Workers: decompress and verify.
+	results := make(chan pframe, workers*2)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				if job.err != nil {
+					results <- job
+					continue
+				}
+				block, err := decodeRawFrame(job.data)
+				results <- pframe{seq: job.seq, data: block, err: err, wire: job.wire}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorderer: deliver frames in sequence order. After an error or a
+	// Close it keeps draining the results channel so the workers never
+	// block on a full channel (that would leak them).
+	go func() {
+		defer close(r.out)
+		pending := map[uint64]pframe{}
+		var next uint64
+		dead := false
+		for f := range results {
+			if dead {
+				continue
+			}
+			pending[f.seq] = f
+			for !dead {
+				nf, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				select {
+				case r.out <- nf:
+					if nf.err != nil {
+						dead = true
+					}
+				case <-r.closeCh:
+					dead = true
+				}
+				next++
+			}
+		}
+	}()
+	return r, nil
+}
+
+// readRawFrame reads one frame's header and payload without decoding. The
+// returned slice holds header+payload.
+func readRawFrame(src io.Reader) ([]byte, header, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(src, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, header{}, io.EOF
+		}
+		return nil, header{}, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
+	}
+	h, err := parseHeader(hdr[:])
+	if err != nil {
+		return nil, header{}, err
+	}
+	raw := make([]byte, headerSize+h.compLen)
+	copy(raw, hdr[:])
+	if _, err := io.ReadFull(src, raw[headerSize:]); err != nil {
+		return nil, header{}, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	return raw, h, nil
+}
+
+// decodeRawFrame decompresses and verifies one raw frame.
+func decodeRawFrame(raw []byte) ([]byte, error) {
+	h, err := parseHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := compress.ByID(h.codecID)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	block, err := codec.Decompress(nil, raw[headerSize:], h.rawLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if got := crc32.Checksum(block, crcTable); got != h.crc {
+		return nil, fmt.Errorf("%w: CRC mismatch (got %08x, want %08x)", ErrBadFrame, got, h.crc)
+	}
+	return block, nil
+}
+
+// Read implements io.Reader.
+func (r *ParallelReader) Read(p []byte) (int, error) {
+	for len(r.cur) == 0 {
+		if r.err != nil {
+			return 0, r.err
+		}
+		f, ok := <-r.out
+		if !ok {
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		if f.err != nil {
+			r.err = f.err
+			return 0, f.err
+		}
+		r.cur = f.data
+		r.rawBytes += int64(len(f.data))
+		r.wireBytes += f.wire
+		r.blocks++
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+// Counters returns application bytes delivered, wire bytes consumed and
+// frames decoded so far.
+func (r *ParallelReader) Counters() (rawBytes, wireBytes, blocks int64) {
+	return r.rawBytes, r.wireBytes, r.blocks
+}
+
+// Close releases the worker goroutines. It is safe to call multiple times
+// and after EOF.
+func (r *ParallelReader) Close() error {
+	r.once.Do(func() { close(r.closeCh) })
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package stream_test
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose ~10-20x slowdown invalidates wall-clock performance assertions
+// (correctness assertions still run).
+const raceEnabled = true

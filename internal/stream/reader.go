@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"errors"
+	"io"
+)
+
+// Reader decompresses a stream of frames produced by Writer. It is
+// completely stateless across blocks — every frame carries its codec ID —
+// so it needs no knowledge of the sender's ladder or decision model, exactly
+// as the paper requires for transparent mid-stream level switches.
+//
+// Reader is not safe for concurrent use.
+type Reader struct {
+	src     io.Reader
+	block   []byte // decompressed bytes not yet delivered
+	off     int
+	payload []byte // frame payload scratch
+	err     error  // sticky error (including io.EOF)
+
+	// RawBytes and WireBytes count decompressed and on-the-wire bytes
+	// delivered so far.
+	rawBytes  int64
+	wireBytes int64
+	blocks    int64
+}
+
+// NewReader creates a Reader over src.
+func NewReader(src io.Reader) (*Reader, error) {
+	if src == nil {
+		return nil, errors.New("stream: nil source reader")
+	}
+	return &Reader{src: src}, nil
+}
+
+// Read implements io.Reader, delivering the original application bytes.
+func (r *Reader) Read(p []byte) (int, error) {
+	for r.off == len(r.block) {
+		if r.err != nil {
+			return 0, r.err
+		}
+		if err := r.fill(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, r.block[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// fill reads the next frame into r.block.
+func (r *Reader) fill() error {
+	block, scratch, rawLen, err := readFrame(r.src, r.block[:0], r.payload)
+	r.payload = scratch
+	if err != nil {
+		return err
+	}
+	r.block = block
+	r.off = 0
+	r.rawBytes += int64(rawLen)
+	r.wireBytes += int64(headerSize + len(scratch))
+	r.blocks++
+	return nil
+}
+
+// Counters returns the number of application bytes delivered, wire bytes
+// consumed and frames decoded so far.
+func (r *Reader) Counters() (rawBytes, wireBytes, blocks int64) {
+	return r.rawBytes, r.wireBytes, r.blocks
+}
+
+// WriteTo implements io.WriterTo, streaming all remaining blocks to w. This
+// is the efficient path for relays and sinks: blocks are forwarded without
+// the caller's copy loop.
+func (r *Reader) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for {
+		if r.off < len(r.block) {
+			n, err := w.Write(r.block[r.off:])
+			total += int64(n)
+			r.off += n
+			if err != nil {
+				return total, err
+			}
+		}
+		if r.err != nil {
+			if r.err == io.EOF {
+				return total, nil
+			}
+			return total, r.err
+		}
+		if err := r.fill(); err != nil {
+			r.err = err
+			if err == io.EOF {
+				return total, nil
+			}
+			return total, err
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"adaptio/internal/compress"
+	"adaptio/internal/core"
+	"adaptio/internal/vclock"
+)
+
+// Adaptive is the sentinel for WriterConfig.StaticLevel meaning "let the
+// decision model choose" (the paper's DYNAMIC mode).
+const Adaptive = -1
+
+// WindowStat describes one completed decision window; it feeds the
+// time-series traces of Figures 4–6.
+type WindowStat struct {
+	// Start and Elapsed delimit the window.
+	Start   time.Time
+	Elapsed time.Duration
+	// AppBytes is the number of application (pre-compression) bytes
+	// accepted during the window.
+	AppBytes int64
+	// WireBytes is the number of frame bytes (headers + payloads) passed
+	// to the I/O layer during the window.
+	WireBytes int64
+	// Rate is AppBytes/Elapsed in bytes per second — the cdr fed to the
+	// decision algorithm.
+	Rate float64
+	// Level is the level that was active during the window; NextLevel is
+	// the decision for the following window.
+	Level     int
+	NextLevel int
+}
+
+// Stats aggregates writer activity.
+type Stats struct {
+	AppBytes      int64 // bytes accepted from the application
+	WireBytes     int64 // bytes handed to the I/O layer (headers + payloads)
+	Blocks        int64 // frames written
+	LevelSwitches int64 // times the active level changed
+	// BlocksPerLevel counts frames per ladder level index.
+	BlocksPerLevel []int64
+	// RawFallbacks counts blocks stored uncompressed because the codec
+	// failed to shrink them.
+	RawFallbacks int64
+}
+
+// WriterConfig parameterizes a Writer. The zero value gives the paper's
+// configuration: the four-level default ladder, t = 2 s, α = 0.2, 128 KB
+// blocks, adaptive (DYNAMIC) level selection, wall-clock time.
+type WriterConfig struct {
+	// Ladder is the ordered compression-level ladder. Nil means
+	// DefaultLadder().
+	Ladder compress.Ladder
+	// Window is the reconsideration interval t. Zero means 2 s.
+	Window time.Duration
+	// Alpha is the decision model's tolerance band α. Zero means 0.2.
+	Alpha float64
+	// BlockSize caps the bytes buffered before a frame is cut. Zero means
+	// 128 KB. Values above MaxBlockSize are invalid.
+	BlockSize int
+	// StaticLevel pins the compression level (the paper's NO/LIGHT/
+	// MEDIUM/HEAVY static baselines). Adaptive (-1) and 0 both exist:
+	// Adaptive engages the decision model, 0 pins "no compression".
+	// NOTE: the zero value engages... see NewWriter: a zero StaticLevel
+	// with Static==false means Adaptive.
+	StaticLevel int
+	// Static marks StaticLevel as intentional. Without this flag the
+	// zero-valued config would pin level 0 rather than adapt.
+	Static bool
+	// Clock supplies time; nil means the wall clock.
+	Clock vclock.Clock
+	// OnWindow, if non-nil, is invoked after every completed decision
+	// window (also in static mode, with NextLevel == Level).
+	OnWindow func(WindowStat)
+	// DisableBackoff and MaxBackoffExp are forwarded to the decision
+	// model (ablation knobs, see internal/core).
+	DisableBackoff bool
+	MaxBackoffExp  int
+	// Parallelism compresses blocks on an order-preserving worker pool of
+	// the given size; 0 and 1 mean synchronous compression. Frames stay
+	// strictly ordered on the wire, so the receiver needs no changes.
+	Parallelism int
+}
+
+// Writer intercepts an application byte stream, compresses it adaptively and
+// forwards self-describing frames to the underlying writer. It is not safe
+// for concurrent use.
+type Writer struct {
+	dst    io.Writer
+	cfg    WriterConfig
+	ladder compress.Ladder
+	clock  vclock.Clock
+	dec    *core.Decider // nil in static mode
+
+	buf     []byte    // pending application bytes, cap = BlockSize
+	scratch []byte    // compression scratch
+	pipe    *pipeline // non-nil when Parallelism > 1
+
+	level       int
+	windowStart time.Time
+	winAppBytes int64
+
+	// statsMu guards stats and winWireBytes: with a parallel pipeline the
+	// flusher goroutine accounts frames concurrently with the caller.
+	statsMu      sync.Mutex
+	winWireBytes int64
+	stats        Stats
+
+	closed bool
+	err    error // sticky error
+}
+
+// NewWriter creates an adaptive compression writer in front of dst.
+func NewWriter(dst io.Writer, cfg WriterConfig) (*Writer, error) {
+	if dst == nil {
+		return nil, errors.New("stream: nil destination writer")
+	}
+	if cfg.Ladder == nil {
+		cfg.Ladder = DefaultLadder()
+	}
+	if err := cfg.Ladder.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Window == 0 {
+		cfg.Window = time.Duration(core.DefaultWindowSeconds * float64(time.Second))
+	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("stream: negative window %v", cfg.Window)
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.BlockSize < 1 || cfg.BlockSize > MaxBlockSize {
+		return nil, fmt.Errorf("stream: block size %d out of range [1, %d]", cfg.BlockSize, MaxBlockSize)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("stream: negative parallelism %d", cfg.Parallelism)
+	}
+
+	w := &Writer{
+		dst:     dst,
+		cfg:     cfg,
+		ladder:  cfg.Ladder,
+		clock:   cfg.Clock,
+		buf:     make([]byte, 0, cfg.BlockSize),
+		scratch: make([]byte, 0, cfg.BlockSize+cfg.BlockSize/16+64),
+	}
+	w.stats.BlocksPerLevel = make([]int64, len(cfg.Ladder))
+
+	if cfg.Static {
+		if cfg.StaticLevel < 0 || cfg.StaticLevel >= len(cfg.Ladder) {
+			return nil, fmt.Errorf("stream: static level %d outside ladder of %d levels", cfg.StaticLevel, len(cfg.Ladder))
+		}
+		w.level = cfg.StaticLevel
+	} else {
+		dec, err := core.NewDecider(core.Config{
+			Levels:         len(cfg.Ladder),
+			Alpha:          cfg.Alpha,
+			DisableBackoff: cfg.DisableBackoff,
+			MaxBackoffExp:  cfg.MaxBackoffExp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.dec = dec
+	}
+	if cfg.Parallelism > 1 {
+		w.pipe = newPipeline(w.ladder, w, cfg.Parallelism)
+	}
+	w.windowStart = w.clock.Now()
+	return w, nil
+}
+
+// writeEncodedFrame implements writeSink for the parallel pipeline: it
+// pushes one finished frame downstream and accounts it.
+func (w *Writer) writeEncodedFrame(f encodedFrame) error {
+	if _, err := w.dst.Write(f.frame); err != nil {
+		return err
+	}
+	w.statsMu.Lock()
+	w.accountFrame(int64(len(f.frame)), f.level, f.codecID)
+	w.statsMu.Unlock()
+	return nil
+}
+
+// accountFrame updates the frame counters; callers hold statsMu.
+func (w *Writer) accountFrame(wireBytes int64, level int, codecID uint8) {
+	w.stats.WireBytes += wireBytes
+	w.winWireBytes += wireBytes
+	w.stats.Blocks++
+	w.stats.BlocksPerLevel[level]++
+	if codecID == compress.IDNone && w.ladder[level].Codec.ID() != compress.IDNone {
+		w.stats.RawFallbacks++
+	}
+}
+
+// Level returns the currently active compression level.
+func (w *Writer) Level() int { return w.level }
+
+// Stats returns a snapshot of the writer's counters. With a parallel
+// pipeline, frames still in flight are not yet counted; Flush or Close
+// first for exact totals.
+func (w *Writer) Stats() Stats {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	s := w.stats
+	s.BlocksPerLevel = append([]int64(nil), w.stats.BlocksPerLevel...)
+	return s
+}
+
+// Write implements io.Writer for application data.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.closed {
+		return 0, errors.New("stream: write after Close")
+	}
+	total := 0
+	for len(p) > 0 {
+		space := cap(w.buf) - len(w.buf)
+		n := len(p)
+		if n > space {
+			n = space
+		}
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		total += n
+		w.stats.AppBytes += int64(n)
+		w.winAppBytes += int64(n)
+		if len(w.buf) == cap(w.buf) {
+			if err := w.flushBlock(); err != nil {
+				w.err = err
+				return total, err
+			}
+		}
+	}
+	w.maybeDecide()
+	return total, nil
+}
+
+// Flush writes any buffered partial block downstream and, with a parallel
+// pipeline, waits until every in-flight frame has reached the underlying
+// writer. It does not flush the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.flushBlock(); err != nil {
+		w.err = err
+		return err
+	}
+	if w.pipe != nil {
+		if err := w.pipe.drain(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes buffered data and finalizes the current decision window. It
+// does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if err := w.Flush(); err != nil {
+		if w.pipe != nil {
+			w.pipe.stop()
+		}
+		return err
+	}
+	w.finishWindow(true)
+	if w.pipe != nil {
+		if err := w.pipe.stop(); err != nil && w.err == nil {
+			w.err = err
+			return err
+		}
+	}
+	return w.err
+}
+
+func (w *Writer) flushBlock() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if w.pipe != nil {
+		// Hand a copy to the worker pool; the flusher accounts the
+		// frame when it reaches the wire.
+		block := append([]byte(nil), w.buf...)
+		w.buf = w.buf[:0]
+		return w.pipe.submit(block, w.level)
+	}
+	payload, codecID, err := writeFrame(w.dst, w.ladder, w.level, w.buf, w.scratch)
+	if err != nil {
+		return err
+	}
+	w.statsMu.Lock()
+	w.accountFrame(int64(payload+headerSize), w.level, codecID)
+	w.statsMu.Unlock()
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// maybeDecide closes the current decision window if t has elapsed, feeds the
+// measured application data rate to the decision model and installs the next
+// level.
+func (w *Writer) maybeDecide() {
+	elapsed := w.clock.Now().Sub(w.windowStart)
+	if elapsed < w.cfg.Window {
+		return
+	}
+	w.finishWindow(false)
+}
+
+func (w *Writer) finishWindow(final bool) {
+	now := w.clock.Now()
+	elapsed := now.Sub(w.windowStart)
+	if elapsed <= 0 {
+		if !final {
+			return
+		}
+		elapsed = time.Nanosecond
+	}
+	rate := float64(w.winAppBytes) / elapsed.Seconds()
+	next := w.level
+	if w.dec != nil && !final {
+		next = w.dec.Observe(rate)
+	}
+	if w.cfg.OnWindow != nil {
+		w.statsMu.Lock()
+		winWire := w.winWireBytes
+		w.statsMu.Unlock()
+		w.cfg.OnWindow(WindowStat{
+			Start:     w.windowStart,
+			Elapsed:   elapsed,
+			AppBytes:  w.winAppBytes,
+			WireBytes: winWire,
+			Rate:      rate,
+			Level:     w.level,
+			NextLevel: next,
+		})
+	}
+	if next != w.level {
+		// Cut the pending block so data buffered under the old level is
+		// not compressed with the new one mid-window accounting.
+		if err := w.flushBlock(); err != nil {
+			w.err = err
+			return
+		}
+		w.level = next
+		w.stats.LevelSwitches++
+	}
+	w.windowStart = now
+	w.winAppBytes = 0
+	w.statsMu.Lock()
+	w.winWireBytes = 0
+	w.statsMu.Unlock()
+}

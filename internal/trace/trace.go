@@ -1,0 +1,223 @@
+// Package trace records and renders the time series behind Figures 4–6 of
+// the paper: per-decision-window CPU utilization, application throughput,
+// network throughput and the selected compression level. Rendering is
+// plain-text (sparkline rows plus a level timeline), which is what the
+// benchmark harness prints in place of the paper's plots.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one decision window.
+type Point struct {
+	// Time is seconds since transfer start.
+	Time float64
+	// Level is the compression level active during the window.
+	Level int
+	// AppMBps and WireMBps are the application- and network-layer
+	// throughputs in MB/s.
+	AppMBps  float64
+	WireMBps float64
+	// CPUPct is the guest-displayed CPU utilization in percent.
+	CPUPct float64
+}
+
+// Trace is an append-only series of points.
+type Trace struct {
+	points []Point
+	levels int
+}
+
+// New creates a trace for a ladder with the given number of levels.
+func New(levels int) *Trace {
+	if levels < 1 {
+		levels = 1
+	}
+	return &Trace{levels: levels}
+}
+
+// Add appends one point.
+func (t *Trace) Add(p Point) { t.points = append(t.points, p) }
+
+// Len returns the number of recorded points.
+func (t *Trace) Len() int { return len(t.points) }
+
+// Points returns the recorded series (not a copy; callers must not modify).
+func (t *Trace) Points() []Point { return t.points }
+
+// Duration returns the time of the last point.
+func (t *Trace) Duration() float64 {
+	if len(t.points) == 0 {
+		return 0
+	}
+	return t.points[len(t.points)-1].Time
+}
+
+// LevelOccupancy returns the fraction of windows spent at each level.
+func (t *Trace) LevelOccupancy() []float64 {
+	occ := make([]float64, t.levels)
+	if len(t.points) == 0 {
+		return occ
+	}
+	for _, p := range t.points {
+		if p.Level >= 0 && p.Level < t.levels {
+			occ[p.Level]++
+		}
+	}
+	for i := range occ {
+		occ[i] /= float64(len(t.points))
+	}
+	return occ
+}
+
+// Switches returns the number of level changes in the series.
+func (t *Trace) Switches() int {
+	n := 0
+	for i := 1; i < len(t.points); i++ {
+		if t.points[i].Level != t.points[i-1].Level {
+			n++
+		}
+	}
+	return n
+}
+
+// SwitchesIn counts level changes within [from, to) seconds; Figure 4's
+// backoff claim is that this count decays over consecutive intervals.
+func (t *Trace) SwitchesIn(from, to float64) int {
+	n := 0
+	for i := 1; i < len(t.points); i++ {
+		if t.points[i].Time >= from && t.points[i].Time < to &&
+			t.points[i].Level != t.points[i-1].Level {
+			n++
+		}
+	}
+	return n
+}
+
+// sparkRunes are the eight block heights of a text sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values into width buckets, scaling to the series max.
+func sparkline(values []float64, width int) string {
+	if len(values) == 0 || width < 1 {
+		return ""
+	}
+	buckets := resample(values, width)
+	max := 0.0
+	for _, v := range buckets {
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if max > 0 {
+			idx = int(v / max * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// resample averages values into width buckets.
+func resample(values []float64, width int) []float64 {
+	if width > len(values) {
+		width = len(values)
+	}
+	out := make([]float64, width)
+	for b := range out {
+		lo := b * len(values) / width
+		hi := (b + 1) * len(values) / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[b] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// levelTimeline renders the level series as one row per level, matching the
+// step plot at the bottom of Figures 4–6.
+func (t *Trace) levelTimeline(names []string, width int) string {
+	if len(t.points) == 0 {
+		return ""
+	}
+	series := make([]float64, len(t.points))
+	for i, p := range t.points {
+		series[i] = float64(p.Level)
+	}
+	buckets := resample(series, width)
+	var sb strings.Builder
+	for lvl := t.levels - 1; lvl >= 0; lvl-- {
+		name := fmt.Sprintf("L%d", lvl)
+		if lvl < len(names) && names[lvl] != "" {
+			name = names[lvl]
+		}
+		sb.WriteString(fmt.Sprintf("%-8s|", name))
+		for _, v := range buckets {
+			if int(v+0.5) == lvl {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// Render produces the full text figure: throughput and CPU sparklines plus
+// the level timeline and summary statistics.
+func (t *Trace) Render(title string, levelNames []string, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s ===\n", title)
+	if len(t.points) == 0 {
+		sb.WriteString("(no samples)\n")
+		return sb.String()
+	}
+	app := make([]float64, len(t.points))
+	wire := make([]float64, len(t.points))
+	cpu := make([]float64, len(t.points))
+	maxApp, maxWire, maxCPU := 0.0, 0.0, 0.0
+	for i, p := range t.points {
+		app[i], wire[i], cpu[i] = p.AppMBps, p.WireMBps, p.CPUPct
+		if p.AppMBps > maxApp {
+			maxApp = p.AppMBps
+		}
+		if p.WireMBps > maxWire {
+			maxWire = p.WireMBps
+		}
+		if p.CPUPct > maxCPU {
+			maxCPU = p.CPUPct
+		}
+	}
+	fmt.Fprintf(&sb, "app  MB/s |%s| peak %.0f\n", sparkline(app, width), maxApp)
+	fmt.Fprintf(&sb, "wire MB/s |%s| peak %.0f\n", sparkline(wire, width), maxWire)
+	fmt.Fprintf(&sb, "cpu  %%    |%s| peak %.0f\n", sparkline(cpu, width), maxCPU)
+	sb.WriteString(t.levelTimeline(levelNames, width))
+	occ := t.LevelOccupancy()
+	fmt.Fprintf(&sb, "duration %.0f s, %d windows, %d level switches, occupancy",
+		t.Duration(), t.Len(), t.Switches())
+	for lvl, f := range occ {
+		name := fmt.Sprintf("L%d", lvl)
+		if lvl < len(levelNames) && levelNames[lvl] != "" {
+			name = levelNames[lvl]
+		}
+		fmt.Fprintf(&sb, " %s=%.0f%%", name, f*100)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

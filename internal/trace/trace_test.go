@@ -1,0 +1,128 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"adaptio/internal/trace"
+)
+
+func buildTrace(levels int, points []trace.Point) *trace.Trace {
+	tr := trace.New(levels)
+	for _, p := range points {
+		tr.Add(p)
+	}
+	return tr
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := trace.New(4)
+	if tr.Len() != 0 || tr.Duration() != 0 || tr.Switches() != 0 {
+		t.Fatal("empty trace has non-zero stats")
+	}
+	out := tr.Render("empty", nil, 40)
+	if !strings.Contains(out, "no samples") {
+		t.Fatalf("empty render: %q", out)
+	}
+	occ := tr.LevelOccupancy()
+	if len(occ) != 4 {
+		t.Fatalf("occupancy slots = %d", len(occ))
+	}
+}
+
+func TestLevelOccupancyAndSwitches(t *testing.T) {
+	tr := buildTrace(3, []trace.Point{
+		{Time: 1, Level: 0},
+		{Time: 2, Level: 1},
+		{Time: 3, Level: 1},
+		{Time: 4, Level: 2},
+	})
+	occ := tr.LevelOccupancy()
+	if occ[0] != 0.25 || occ[1] != 0.5 || occ[2] != 0.25 {
+		t.Fatalf("occupancy = %v", occ)
+	}
+	if tr.Switches() != 2 {
+		t.Fatalf("switches = %d", tr.Switches())
+	}
+	if tr.Duration() != 4 {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+}
+
+func TestSwitchesIn(t *testing.T) {
+	tr := buildTrace(2, []trace.Point{
+		{Time: 1, Level: 0},
+		{Time: 2, Level: 1}, // switch at t=2
+		{Time: 10, Level: 1},
+		{Time: 11, Level: 0}, // switch at t=11
+	})
+	if got := tr.SwitchesIn(0, 5); got != 1 {
+		t.Fatalf("SwitchesIn(0,5) = %d", got)
+	}
+	if got := tr.SwitchesIn(5, 20); got != 1 {
+		t.Fatalf("SwitchesIn(5,20) = %d", got)
+	}
+	if got := tr.SwitchesIn(3, 5); got != 0 {
+		t.Fatalf("SwitchesIn(3,5) = %d", got)
+	}
+}
+
+func TestRenderContainsAllParts(t *testing.T) {
+	var points []trace.Point
+	for i := 0; i < 100; i++ {
+		lvl := 0
+		if i%10 < 5 {
+			lvl = 1
+		}
+		points = append(points, trace.Point{
+			Time:     float64(i) * 2,
+			Level:    lvl,
+			AppMBps:  100 + float64(i),
+			WireMBps: 50,
+			CPUPct:   80,
+		})
+	}
+	tr := buildTrace(4, points)
+	out := tr.Render("Figure X", []string{"NO", "LIGHT", "MEDIUM", "HEAVY"}, 60)
+	for _, want := range []string{"Figure X", "app  MB/s", "wire MB/s", "cpu  %", "NO", "LIGHT", "MEDIUM", "HEAVY", "level switches", "occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The level timeline rows must all have the same width.
+	var widths []int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasSuffix(line, "|") && strings.Contains(line, "|") && !strings.Contains(line, "MB/s") && !strings.Contains(line, "cpu") {
+			widths = append(widths, len(line))
+		}
+	}
+	for i := 1; i < len(widths); i++ {
+		if widths[i] != widths[0] {
+			t.Fatalf("timeline rows have inconsistent widths: %v", widths)
+		}
+	}
+}
+
+func TestRenderShortSeries(t *testing.T) {
+	tr := buildTrace(2, []trace.Point{{Time: 1, Level: 0, AppMBps: 10}})
+	out := tr.Render("tiny", nil, 80)
+	if out == "" || !strings.Contains(out, "tiny") {
+		t.Fatal("short series render broken")
+	}
+}
+
+func TestNewClampsLevels(t *testing.T) {
+	tr := trace.New(0)
+	tr.Add(trace.Point{Level: 0})
+	if len(tr.LevelOccupancy()) != 1 {
+		t.Fatal("levels<1 not clamped")
+	}
+}
+
+func TestOutOfRangeLevelIgnoredInOccupancy(t *testing.T) {
+	tr := buildTrace(2, []trace.Point{{Level: 7}, {Level: 1}})
+	occ := tr.LevelOccupancy()
+	if occ[1] != 0.5 {
+		t.Fatalf("occupancy = %v", occ)
+	}
+}

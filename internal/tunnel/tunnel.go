@@ -1,0 +1,240 @@
+// Package tunnel provides an adaptive-compression TCP tunnel: a pair of
+// proxies that transparently compress arbitrary TCP traffic between them
+// with the paper's rate-based scheme. This is the "infrastructure agnostic"
+// deployment story of the paper taken literally — a cloud customer inserts
+// the tunnel between application and network without touching hypervisor,
+// kernel, or application:
+//
+//	app ──plain──▶ Entry ══compressed══▶ Exit ──plain──▶ service
+//	    ◀──plain──       ◀══compressed══      ◀──plain──
+//
+// Each direction of every connection carries an independent adaptive
+// compression stream (its own Decider), so the two directions converge to
+// different levels when their data or available bandwidth differ.
+package tunnel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"adaptio/internal/stream"
+)
+
+// Config tunes the compression side of a tunnel endpoint.
+type Config struct {
+	// Window and Alpha parameterize the decision model (zero values mean
+	// the paper's t=2 s, α=0.2).
+	Window time.Duration
+	Alpha  float64
+	// Static pins a level instead of adapting (for comparison runs).
+	Static      bool
+	StaticLevel int
+	// OnDone, if non-nil, receives the sender-side compression stats of
+	// every finished connection direction.
+	OnDone func(ConnStats)
+	// Logf, if non-nil, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// ConnStats describes one finished connection direction.
+type ConnStats struct {
+	// Direction is "entry->exit" or "exit->entry".
+	Direction string
+	Stats     stream.Stats
+	Err       error
+}
+
+func (c Config) writerConfig() stream.WriterConfig {
+	return stream.WriterConfig{
+		Window:      c.Window,
+		Alpha:       c.Alpha,
+		Static:      c.Static,
+		StaticLevel: c.StaticLevel,
+	}
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Endpoint is a running tunnel endpoint (entry or exit).
+type Endpoint struct {
+	ln     net.Listener
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// Addr returns the endpoint's listen address.
+func (e *Endpoint) Addr() net.Addr { return e.ln.Addr() }
+
+// Close stops accepting and waits for active connections to finish
+// draining (their peers see EOF).
+func (e *Endpoint) Close() error {
+	e.cancel()
+	err := e.ln.Close()
+	e.wg.Wait()
+	return err
+}
+
+// halfCloser is the subset of *net.TCPConn the relay needs for half-close
+// semantics.
+type halfCloser interface {
+	net.Conn
+	CloseWrite() error
+	CloseRead() error
+}
+
+// ListenEntry starts the entry endpoint: applications connect to listenAddr
+// with plain TCP; traffic is adaptively compressed toward the exit endpoint
+// at exitAddr.
+func ListenEntry(ctx context.Context, listenAddr, exitAddr string, cfg Config) (*Endpoint, error) {
+	return listen(ctx, listenAddr, cfg, func() (net.Conn, error) {
+		return net.Dial("tcp", exitAddr)
+	}, true)
+}
+
+// ListenExit starts the exit endpoint: it accepts compressed tunnel
+// connections and forwards plain TCP to targetAddr.
+func ListenExit(ctx context.Context, listenAddr, targetAddr string, cfg Config) (*Endpoint, error) {
+	return listen(ctx, listenAddr, cfg, func() (net.Conn, error) {
+		return net.Dial("tcp", targetAddr)
+	}, false)
+}
+
+func listen(ctx context.Context, listenAddr string, cfg Config, dial func() (net.Conn, error), acceptsPlain bool) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	ep := &Endpoint{ln: ln, cancel: cancel}
+	ep.wg.Add(1)
+	go func() {
+		defer ep.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				if runCtx.Err() != nil {
+					return
+				}
+				cfg.logf("tunnel: accept: %v", err)
+				return
+			}
+			ep.wg.Add(1)
+			go func() {
+				defer ep.wg.Done()
+				peer, err := dial()
+				if err != nil {
+					cfg.logf("tunnel: dial: %v", err)
+					conn.Close()
+					return
+				}
+				var relayErr error
+				if acceptsPlain {
+					relayErr = relay(runCtx, conn, peer, cfg, "entry->exit")
+				} else {
+					relayErr = relay(runCtx, peer, conn, cfg, "exit->entry")
+				}
+				if relayErr != nil {
+					cfg.logf("tunnel: relay: %v", relayErr)
+				}
+			}()
+		}
+	}()
+	return ep, nil
+}
+
+// relay shuttles one connection: bytes from plain are compressed onto wire,
+// frames from wire are decompressed onto plain. It returns when both
+// directions have finished.
+func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction string) error {
+	defer plain.Close()
+	defer wire.Close()
+
+	plainTCP, okP := plain.(halfCloser)
+	wireTCP, okW := wire.(halfCloser)
+
+	// Tear connections down if the endpoint is shut down mid-relay.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			plain.Close()
+			wire.Close()
+		case <-stop:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+
+	// plain -> compress -> wire
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w, err := stream.NewWriter(wire, cfg.writerConfig())
+		if err != nil {
+			errs <- err
+			return
+		}
+		_, cpErr := io.Copy(w, plain)
+		if closeErr := w.Close(); cpErr == nil {
+			cpErr = closeErr
+		}
+		if okW {
+			wireTCP.CloseWrite() // signal EOF downstream, keep reading
+		}
+		if cfg.OnDone != nil {
+			cfg.OnDone(ConnStats{Direction: direction, Stats: w.Stats(), Err: cpErr})
+		}
+		if cpErr != nil {
+			errs <- fmt.Errorf("compress path: %w", cpErr)
+		}
+	}()
+
+	// wire -> decompress -> plain
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r, err := stream.NewReader(wire)
+		if err != nil {
+			errs <- err
+			return
+		}
+		_, cpErr := io.Copy(plain, r)
+		if okP {
+			plainTCP.CloseWrite()
+		}
+		if cpErr != nil {
+			errs <- fmt.Errorf("decompress path: %w", cpErr)
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errs:
+		if isBenignNetErr(err) {
+			return nil
+		}
+		return err
+	default:
+		return nil
+	}
+}
+
+// isBenignNetErr filters the errors every TCP relay sees at teardown.
+func isBenignNetErr(err error) bool {
+	if err == nil || errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+		return true
+	}
+	var ne *net.OpError
+	return errors.As(err, &ne)
+}

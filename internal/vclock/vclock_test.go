@@ -1,0 +1,71 @@
+package vclock_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adaptio/internal/vclock"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	c := vclock.Real{}
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	if !c.Now().After(a) {
+		t.Fatal("real clock did not advance")
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	m := vclock.NewManual()
+	start := m.Now()
+	m.Advance(3 * time.Second)
+	if got := m.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("advance moved %v", got)
+	}
+	m.Set(start.Add(time.Minute))
+	if got := m.Now().Sub(start); got != time.Minute {
+		t.Fatalf("set moved to %v", got)
+	}
+}
+
+func TestManualClockPanicsOnBackwards(t *testing.T) {
+	m := vclock.NewManual()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Advance did not panic")
+			}
+		}()
+		m.Advance(-time.Second)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("backwards Set did not panic")
+			}
+		}()
+		m.Set(m.Now().Add(-time.Second))
+	}()
+}
+
+func TestManualClockConcurrency(t *testing.T) {
+	m := vclock.NewManual()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Advance(time.Microsecond)
+				_ = m.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := vclock.NewManual().Now().Add(8 * 1000 * time.Microsecond)
+	if !m.Now().Equal(want) {
+		t.Fatalf("concurrent advances lost: %v vs %v", m.Now(), want)
+	}
+}

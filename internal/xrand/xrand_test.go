@@ -1,0 +1,126 @@
+package xrand_test
+
+import (
+	"math"
+	"testing"
+
+	"adaptio/internal/xrand"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := xrand.New(7), xrand.New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := xrand.New(8)
+	if a.Uint64() == c.Uint64() {
+		t.Fatal("different seeds collided immediately")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := xrand.New(1)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := xrand.New(2)
+	const n = 200000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		buckets[int(f*10)]++
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+	for i, c := range buckets {
+		if math.Abs(float64(c)-n/10) > n/10*0.05 {
+			t.Fatalf("bucket %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := xrand.New(3)
+	seen := make([]bool, 7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("value %d never produced", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := xrand.New(4)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("norm mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("norm variance = %v", variance)
+	}
+}
+
+func TestNoiseFactorMeanOne(t *testing.T) {
+	r := xrand.New(5)
+	const n = 300000
+	var sum float64
+	for i := 0; i < n; i++ {
+		f := r.NoiseFactor(0.3)
+		if f <= 0 {
+			t.Fatalf("noise factor non-positive: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.01 {
+		t.Fatalf("noise factor mean = %v, want ~1", mean)
+	}
+	if r.NoiseFactor(0) != 1 {
+		t.Fatal("sigma=0 should give exactly 1")
+	}
+}
+
+func TestFork(t *testing.T) {
+	r := xrand.New(6)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked streams collided immediately")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r xrand.RNG
+	_ = r.Uint64() // must not panic
+}

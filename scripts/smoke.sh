@@ -1,0 +1,50 @@
+#!/bin/sh
+# Smoke test: build every binary and exercise each one briefly.
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+
+echo "== build =="
+for cmd in expdriver acprobe acpipe acsend acrecv actunnel realbench; do
+  go build -o "$BIN/$cmd" "./cmd/$cmd"
+done
+
+echo "== expdriver (claims checklist, reduced volume) =="
+"$BIN/expdriver" -claims -gb 10 -runs 2 | grep 'claims reproduced'
+
+echo "== acprobe (simulated fig2) =="
+"$BIN/acprobe" -gb 1 | grep -c 'Figure'
+
+echo "== acpipe round trip =="
+head -c 1048576 /dev/urandom > "$BIN/in.bin"
+"$BIN/acpipe" < "$BIN/in.bin" > "$BIN/in.ac"
+"$BIN/acpipe" -d < "$BIN/in.ac" > "$BIN/out.bin"
+cmp "$BIN/in.bin" "$BIN/out.bin" && echo "acpipe OK"
+
+echo "== acsend/acrecv =="
+"$BIN/acrecv" -listen 127.0.0.1:9971 -once &
+RECV=$!
+sleep 0.5
+"$BIN/acsend" -addr 127.0.0.1:9971 -gb 0.02 -kind HIGH -window 50ms | head -1
+wait $RECV
+
+echo "== actunnel: acsend -> entry -> exit -> acrecv =="
+"$BIN/acrecv" -listen 127.0.0.1:9972 -once >/dev/null &
+SINK=$!
+"$BIN/actunnel" -mode exit -listen 127.0.0.1:9973 -target 127.0.0.1:9972 -q &
+EXIT_T=$!
+"$BIN/actunnel" -mode entry -listen 127.0.0.1:9974 -target 127.0.0.1:9973 -q &
+ENTRY_T=$!
+sleep 0.5
+"$BIN/acsend" -addr 127.0.0.1:9974 -gb 0.01 -kind MODERATE -window 50ms | head -1
+sleep 0.5
+kill $ENTRY_T $EXIT_T 2>/dev/null || true
+wait $SINK 2>/dev/null || true
+
+echo "== realbench (one tiny cell sweep) =="
+"$BIN/realbench" -mb 4 -wires 40 | head -4
+
+echo "smoke: ALL OK"
