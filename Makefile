@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short bench repro claims fuzz cover clean
+.PHONY: all build test test-race test-short bench repro claims fuzz fuzz-smoke chaos cover clean
 
 all: build test
 
@@ -35,6 +35,17 @@ fuzz:
 	$(GO) test -fuzz=FuzzFastRoundTrip -fuzztime=30s ./internal/compress/lzfast/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/compress/lzheavy/
 	$(GO) test -fuzz=FuzzWriterChunking -fuzztime=30s ./internal/stream/
+	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=30s ./internal/stream/
+	$(GO) test -fuzz=FuzzTunnelFrame -fuzztime=30s ./internal/tunnel/
+
+# Short fuzz sessions of the corrupt-input targets; what CI runs.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=10s ./internal/stream/
+	$(GO) test -fuzz=FuzzTunnelFrame -fuzztime=10s ./internal/tunnel/
+
+# The seeded fault-injection scenarios (docs/robustness.md) under -race.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 ./internal/faultio/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...

@@ -39,6 +39,12 @@
 //   - internal/cloudsim, internal/experiments — the simulation substrate
 //     and harness that regenerate the paper's evaluation (see DESIGN.md
 //     and EXPERIMENTS.md)
+//
+// Corrupt or hostile input never panics or over-allocates: framing errors
+// fail fast wrapping stream.ErrBadFrame, and the tunnel exposes retry,
+// idle-timeout and graceful-shutdown knobs. The fault model and hardening
+// guarantees are documented in docs/robustness.md and exercised by the
+// internal/faultio chaos suite.
 package adaptio
 
 import (

@@ -36,6 +36,11 @@ func main() {
 		alpha  = flag.Float64("alpha", adaptio.DefaultAlpha, "tolerance band alpha")
 		static = flag.Int("static", adaptio.Adaptive, "static level 0..3, or -1 for adaptive")
 		quiet  = flag.Bool("q", false, "suppress per-connection statistics")
+
+		idleTimeout = flag.Duration("idle-timeout", 0, "tear down a connection direction after this long without traffic (0 = never)")
+		dialRetries = flag.Int("dial-retries", 0, "extra dial attempts after the first fails, with exponential backoff")
+		dialBackoff = flag.Duration("dial-backoff", tunnel.DefaultDialBackoff, "base backoff between dial attempts")
+		grace       = flag.Duration("grace", 0, "drain time granted to active connections on shutdown (0 = close immediately)")
 	)
 	flag.Parse()
 	if *listen == "" || *target == "" || (*mode != "entry" && *mode != "exit") {
@@ -44,9 +49,13 @@ func main() {
 	}
 
 	cfg := tunnel.Config{
-		Window: *window,
-		Alpha:  *alpha,
-		Logf:   log.Printf,
+		Window:        *window,
+		Alpha:         *alpha,
+		Logf:          log.Printf,
+		IdleTimeout:   *idleTimeout,
+		DialRetries:   *dialRetries,
+		DialBackoff:   *dialBackoff,
+		ShutdownGrace: *grace,
 	}
 	if *static != adaptio.Adaptive {
 		cfg.Static = true

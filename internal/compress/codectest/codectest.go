@@ -7,6 +7,7 @@ package codectest
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -233,6 +234,82 @@ func CorruptionRobustness(t *testing.T, c compress.Codec) {
 	decode("valid-negative-size", comp, -1)
 }
 
+// AdversarialInputs asserts the decoder's contract on hostile input:
+//
+//   - zero-length input with a positive declared size must error;
+//   - truncated input (anywhere up to the final quarter) must error;
+//   - bit-flipped input must error or return exactly the declared length
+//     (codecs without internal redundancy — the identity codec — cannot
+//     detect flips; the stream layer's per-block CRC rejects the garbage);
+//   - every error wraps compress.ErrCorrupt;
+//   - the decoder never panics and never allocates an output buffer beyond
+//     a small multiple of the declared raw length, no matter what the
+//     corrupt bytes claim.
+func AdversarialInputs(t *testing.T, c compress.Codec) {
+	t.Helper()
+	src := corpus.Generate(corpus.Moderate, 8192, 17)
+	comp := c.Compress(nil, src)
+	decl := len(src)
+
+	decode := func(t *testing.T, name string, data []byte) ([]byte, error) {
+		t.Helper()
+		var out []byte
+		var err error
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s: decoder panicked: %v", name, r)
+				}
+			}()
+			out, err = c.Decompress(nil, data, decl)
+		}()
+		if cap(out) > 2*decl+4096 {
+			t.Fatalf("%s: decoder allocated cap %d for declared length %d", name, cap(out), decl)
+		}
+		if err != nil && !errors.Is(err, compress.ErrCorrupt) {
+			t.Fatalf("%s: error does not wrap compress.ErrCorrupt: %v", name, err)
+		}
+		return out, err
+	}
+
+	t.Run("zero-length", func(t *testing.T) {
+		for _, data := range [][]byte{nil, {}} {
+			if _, err := decode(t, "empty", data); err == nil {
+				t.Fatal("zero-length input with positive declared size decoded without error")
+			}
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		// Deep cuts must error outright. A cut inside the final quarter may
+		// leave enough stream to reproduce the declared length (range-coder
+		// tails are partially redundant), so there the contract relaxes to
+		// the bit-flip rule below.
+		for _, quarter := range []int{1, 2, 3} {
+			cut := len(comp) * quarter / 4
+			if _, err := decode(t, fmt.Sprintf("cut-%d/4", quarter), comp[:cut]); err == nil {
+				t.Fatalf("input truncated at %d/%d decoded without error", cut, len(comp))
+			}
+		}
+		out, err := decode(t, "cut-last-byte", comp[:len(comp)-1])
+		if err == nil && len(out) != decl {
+			t.Fatalf("near-end truncation: no error and wrong length %d (declared %d)", len(out), decl)
+		}
+	})
+
+	t.Run("bit-flips", func(t *testing.T) {
+		rnd := rand.New(rand.NewSource(4242))
+		for trial := 0; trial < 128; trial++ {
+			mut := append([]byte(nil), comp...)
+			mut[rnd.Intn(len(mut))] ^= 1 << rnd.Intn(8)
+			out, err := decode(t, fmt.Sprintf("flip-%d", trial), mut)
+			if err == nil && len(out) != decl {
+				t.Fatalf("trial %d: silent success with wrong length %d (declared %d)", trial, len(out), decl)
+			}
+		}
+	})
+}
+
 // Deterministic asserts that compressing the same input twice yields
 // identical output (required for reproducible experiment runs).
 func Deterministic(t *testing.T, c compress.Codec) {
@@ -270,5 +347,6 @@ func All(t *testing.T, c compress.Codec) {
 	t.Run("QuickRoundTripStructured", func(t *testing.T) { QuickRoundTripStructured(t, c) })
 	t.Run("CorpusRoundTrip", func(t *testing.T) { CorpusRoundTrip(t, c) })
 	t.Run("CorruptionRobustness", func(t *testing.T) { CorruptionRobustness(t, c) })
+	t.Run("AdversarialInputs", func(t *testing.T) { AdversarialInputs(t, c) })
 	t.Run("Deterministic", func(t *testing.T) { Deterministic(t, c) })
 }

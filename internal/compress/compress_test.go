@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"adaptio/internal/compress"
+	"adaptio/internal/compress/codectest"
 	"adaptio/internal/compress/flatecodec"
 	"adaptio/internal/compress/lzfast"
 	"adaptio/internal/compress/lzheavy"
@@ -73,6 +74,20 @@ func TestRegisteredSortedByID(t *testing.T) {
 		if all[i-1].ID() >= all[i].ID() {
 			t.Fatalf("registry not sorted: %d >= %d", all[i-1].ID(), all[i].ID())
 		}
+	}
+}
+
+// TestRegisteredAdversarialInputs runs the adversarial-input conformance
+// pass over every registered codec — the identity codec included, which the
+// per-package conformance tests do not cover.
+func TestRegisteredAdversarialInputs(t *testing.T) {
+	compress.Register(lzfast.Fast{})
+	compress.Register(lzfast.HC{})
+	compress.Register(lzheavy.Codec{})
+	compress.Register(flatecodec.Codec{})
+	for _, c := range compress.Registered() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) { codectest.AdversarialInputs(t, c) })
 	}
 }
 

@@ -203,6 +203,12 @@ func (e *rangeEncoder) encodeTree(tree []prob, sym, nbits int) {
 
 // ---------- range decoder ----------
 
+// phantomSlack bounds how many zero bytes past the input end the decoder may
+// read before Decompress declares the input truncated. The decoder's byte
+// consumption mirrors the encoder's output, so genuine streams need none;
+// the slack only covers the final-symbol normalize running marginally ahead.
+const phantomSlack = 2
+
 type rangeDecoder struct {
 	code uint32
 	rng  uint32
@@ -218,10 +224,11 @@ func newRangeDecoder(src []byte) *rangeDecoder {
 	return d
 }
 
-// next returns the next input byte, or 0 past the end. Reading a few zero
-// bytes past the end is expected when draining the coder's final state; any
-// actual corruption is caught by the produced-size check and by the stream
-// layer's per-block CRC.
+// next returns the next input byte, or 0 past the end, counting how far past
+// the end the decoder has read. A well-formed stream needs no phantom bytes:
+// the decoder's consumption (4 priming bytes plus one byte per normalize)
+// mirrors the encoder's output exactly, so Decompress treats more than
+// phantomSlack reads past the end as truncation.
 func (d *rangeDecoder) next() byte {
 	if d.pos >= len(d.in) {
 		d.pos++
@@ -546,6 +553,9 @@ func (Codec) Decompress(dst, src []byte, decompressedSize int) ([]byte, error) {
 	var reps [4]int
 	var prevByte byte
 	for len(dst)-start < decompressedSize {
+		if dec.pos > len(src)+phantomSlack {
+			return dst, corrupt("input exhausted after %d of %d declared bytes", len(dst)-start, decompressedSize)
+		}
 		if dec.decodeBit(&p.isMatch[prevOp]) == 0 {
 			b := byte(dec.decodeTree(p.lit[litContext(prevByte)][:], 8))
 			dst = append(dst, b)

@@ -1,0 +1,122 @@
+package faultio
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn with injected faults on both directions. The read
+// and write sides draw from independent generators forked from Config.Seed,
+// so each direction's fault sequence is reproducible regardless of how the
+// two sides' goroutines interleave. Byte thresholds (ResetAfter, ...) apply
+// per direction.
+//
+// A tripped reset closes the underlying connection (the peer observes it)
+// and fails both directions of this side with a KindReset Error.
+//
+// Stalls respect the deadline that was in force when the operation started:
+// an expired deadline surfaces a net.Error with Timeout() == true, which is
+// how a stalled cloud connection looks to a peer using read deadlines.
+type Conn struct {
+	inner net.Conn
+	rst   *state
+	wst   *state
+
+	mu            sync.Mutex
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+// WrapConn wraps c with the fault plan described by cfg.
+func WrapConn(c net.Conn, cfg Config) *Conn {
+	fc := &Conn{
+		inner: c,
+		rst:   newState(cfg, 'r'),
+		wst:   newState(cfg, 'w'),
+	}
+	// Share the reset flag between the directions and close the inner
+	// conn when it trips, so the peer sees the teardown too.
+	fc.wst.reset = fc.rst.reset
+	fc.wst.resetMu = fc.rst.resetMu
+	onReset := func() { c.Close() }
+	fc.rst.onReset = onReset
+	fc.wst.onReset = onReset
+	return fc
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	deadline := c.readDeadline
+	c.mu.Unlock()
+	return readFaulty(c.rst, c.inner, p, deadline)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	deadline := c.writeDeadline
+	c.mu.Unlock()
+	var scratch []byte
+	return writeFaulty(c.wst, c.inner, p, &scratch, deadline)
+}
+
+// Close implements net.Conn: it releases stalled operations and closes the
+// underlying connection.
+func (c *Conn) Close() error {
+	c.rst.close()
+	c.wst.close()
+	return c.inner.Close()
+}
+
+// CloseWrite half-closes the write side when the underlying connection
+// supports it (*net.TCPConn does); consumers use half-close to signal EOF
+// while still reading, and hiding it behind the wrapper would deadlock
+// request/response flows. Without support it reports errors.ErrUnsupported.
+func (c *Conn) CloseWrite() error {
+	if hc, ok := c.inner.(interface{ CloseWrite() error }); ok {
+		return hc.CloseWrite()
+	}
+	return errors.ErrUnsupported
+}
+
+// CloseRead half-closes the read side when the underlying connection
+// supports it; see CloseWrite.
+func (c *Conn) CloseRead() error {
+	if hc, ok := c.inner.(interface{ CloseRead() error }); ok {
+		return hc.CloseRead()
+	}
+	return errors.ErrUnsupported
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline, c.writeDeadline = t, t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}

@@ -1,0 +1,396 @@
+// Package faultio is a deterministic fault-injection layer for I/O tests.
+// It wraps io.Reader, io.Writer and net.Conn with adversarial behaviour —
+// short reads, partial writes, latency spikes, mid-stream connection
+// resets, stalls, truncation and bit corruption — driven entirely by a
+// seeded RNG (internal/xrand), so a failing scenario replays bit-for-bit
+// from its seed alone, with no wall-clock dependence in any decision.
+//
+// The fault model mirrors what shared cloud I/O actually does to a
+// connection (the premise of the source paper): bandwidth shifts appear as
+// latency spikes and short reads, noisy neighbours as stalls, and failing
+// paths as resets and truncation. The chaos suite in this package drives
+// seeded combinations of these faults through the writer→tunnel→reader
+// stack and asserts byte-identical delivery or a bounded-time typed error.
+//
+// Faults split into two classes. Benign faults (short reads, partial
+// writes, latency) reorder and fragment I/O but lose nothing: consumers
+// must still deliver byte-identical data. Destructive faults (reset,
+// stall, truncation, corruption) lose or damage data: consumers must fail
+// fast with a typed error — never panic, never hang, never deliver silently
+// corrupted bytes. See docs/robustness.md for the full fault model.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"adaptio/internal/xrand"
+)
+
+// ErrInjected is the base sentinel wrapped by every error this package
+// injects. Tests distinguish injected faults from genuine bugs with
+// errors.Is(err, faultio.ErrInjected).
+var ErrInjected = errors.New("faultio: injected fault")
+
+// Kind enumerates the fault classes.
+type Kind int
+
+const (
+	KindNone Kind = iota
+	KindShortRead
+	KindPartialWrite
+	KindLatency
+	KindReset
+	KindStall
+	KindTruncate
+	KindCorrupt
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindShortRead:
+		return "short-read"
+	case KindPartialWrite:
+		return "partial-write"
+	case KindLatency:
+		return "latency"
+	case KindReset:
+		return "reset"
+	case KindStall:
+		return "stall"
+	case KindTruncate:
+		return "truncate"
+	case KindCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Error is the concrete error injected for destructive faults. It wraps
+// ErrInjected and implements net.Error, so consumers that special-case
+// timeouts (deadline handling in the tunnel) see expired stalls as
+// timeouts.
+type Error struct {
+	Op      string // "read" or "write"
+	Kind    Kind
+	timeout bool
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultio: injected %s during %s", e.Kind, e.Op)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) true.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Timeout implements net.Error.
+func (e *Error) Timeout() bool { return e.timeout }
+
+// Temporary implements the legacy half of net.Error.
+func (e *Error) Temporary() bool { return false }
+
+// Config parameterizes a fault plan. Probabilities are per-operation in
+// [0, 1]; byte thresholds trigger once the given number of bytes has
+// crossed the wrapper in the faulted direction. The zero value injects
+// nothing (a transparent wrapper).
+type Config struct {
+	// Seed drives every random decision. Two wrappers built from equal
+	// configs behave identically. A Conn forks independent read- and
+	// write-side generators from the seed, so each direction's fault
+	// sequence is reproducible regardless of goroutine interleaving.
+	Seed uint64
+
+	// ShortRead is the probability that a Read asks the underlying
+	// reader for only a 1..len(p)-1 byte prefix of the caller's buffer.
+	// Benign: no data is lost, it just arrives in smaller pieces.
+	ShortRead float64
+	// PartialWrite is the probability that a Write forwards only a
+	// 1..len(p)-1 byte prefix and reports the short count with a nil
+	// error. Callers must notice n < len(p) and resend the tail (the
+	// stream layer's writeFull does); callers that assume full writes
+	// lose the tail.
+	PartialWrite float64
+	// Latency is the probability of sleeping before an operation.
+	// MaxLatency bounds the spike; zero means 2ms. Durations are drawn
+	// from the seeded RNG, so a replay sleeps the same amounts.
+	Latency    float64
+	MaxLatency time.Duration
+
+	// CorruptBit is the probability that one seeded bit of the
+	// transferred data is flipped (read path: in the caller's buffer
+	// after reading; write path: in a private copy, never in the
+	// caller's buffer). Destructive: consumers must detect it (CRC) and
+	// fail typed.
+	CorruptBit float64
+
+	// ResetAfter, if > 0, fails every operation in the faulted direction
+	// with a KindReset Error once that many bytes have crossed. A Conn
+	// additionally closes the underlying connection so the peer observes
+	// the reset, and fails its other direction too.
+	ResetAfter int64
+	// TruncateAfter, if > 0, ends the stream silently after that many
+	// bytes: reads return io.EOF, writes report success but drop the
+	// excess (bytes "lost in flight").
+	TruncateAfter int64
+	// StallAfter, if > 0, blocks operations once that many bytes have
+	// crossed, until the wrapper is closed or its deadline expires (the
+	// injected error then reports Timeout() == true).
+	StallAfter int64
+}
+
+// state is the mutable core of one faulted direction: one RNG and one byte
+// counter, mutex-guarded.
+type state struct {
+	mu     sync.Mutex
+	rng    *xrand.RNG
+	cfg    Config
+	bytes  int64 // bytes crossed so far
+	closed chan struct{}
+	once   sync.Once
+
+	// reset is shared between a Conn's two directions (a reset kills the
+	// whole connection); onReset, if non-nil, runs once when it trips.
+	reset   *bool
+	resetMu *sync.Mutex
+	onReset func()
+}
+
+func newState(cfg Config, seedSalt uint64) *state {
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = 2 * time.Millisecond
+	}
+	var reset bool
+	return &state{
+		rng:     xrand.New(cfg.Seed ^ seedSalt),
+		cfg:     cfg,
+		closed:  make(chan struct{}),
+		reset:   &reset,
+		resetMu: &sync.Mutex{},
+	}
+}
+
+func (s *state) close() {
+	s.once.Do(func() { close(s.closed) })
+}
+
+func (s *state) isReset() bool {
+	s.resetMu.Lock()
+	defer s.resetMu.Unlock()
+	return *s.reset
+}
+
+func (s *state) tripReset() {
+	s.resetMu.Lock()
+	already := *s.reset
+	*s.reset = true
+	cb := s.onReset
+	s.resetMu.Unlock()
+	if !already && cb != nil {
+		cb()
+	}
+}
+
+// chance draws one seeded Bernoulli trial; callers hold mu.
+func (s *state) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return s.rng.Float64() < p
+}
+
+// stall blocks until close or the given deadline (zero means none) and
+// returns the injected error to surface.
+func (s *state) stall(op string, deadline time.Time) error {
+	var expiry <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d < 0 {
+			d = 0
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		expiry = timer.C
+	}
+	select {
+	case <-s.closed:
+		return &Error{Op: op, Kind: KindStall}
+	case <-expiry:
+		return &Error{Op: op, Kind: KindStall, timeout: true}
+	}
+}
+
+// corrupt flips one seeded bit of b in place; callers hold mu.
+func (s *state) corrupt(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	i := s.rng.Intn(len(b))
+	b[i] ^= byte(1) << uint(s.rng.Intn(8))
+}
+
+// capAtThresholds shrinks max so byte-threshold faults trigger at their
+// exact configured positions rather than mid-buffer; callers hold mu.
+func (s *state) capAtThresholds(max int) int {
+	for _, limit := range []int64{s.cfg.ResetAfter, s.cfg.TruncateAfter, s.cfg.StallAfter} {
+		if limit > 0 && s.bytes < limit && limit-s.bytes < int64(max) {
+			max = int(limit - s.bytes)
+		}
+	}
+	return max
+}
+
+// readFaulty is the shared faulty read path; deadline bounds stalls.
+func readFaulty(st *state, src io.Reader, p []byte, deadline time.Time) (int, error) {
+	if len(p) == 0 {
+		return src.Read(p)
+	}
+	st.mu.Lock()
+	cfg := st.cfg
+	if st.isReset() {
+		st.mu.Unlock()
+		return 0, &Error{Op: "read", Kind: KindReset}
+	}
+	if cfg.ResetAfter > 0 && st.bytes >= cfg.ResetAfter {
+		st.mu.Unlock()
+		st.tripReset()
+		return 0, &Error{Op: "read", Kind: KindReset}
+	}
+	if cfg.StallAfter > 0 && st.bytes >= cfg.StallAfter {
+		st.mu.Unlock()
+		return 0, st.stall("read", deadline)
+	}
+	if cfg.TruncateAfter > 0 && st.bytes >= cfg.TruncateAfter {
+		st.mu.Unlock()
+		return 0, io.EOF
+	}
+	max := st.capAtThresholds(len(p))
+	if max > 1 && st.chance(cfg.ShortRead) {
+		max = 1 + st.rng.Intn(max-1)
+	}
+	var nap time.Duration
+	if st.chance(cfg.Latency) {
+		nap = time.Duration(st.rng.Float64() * float64(cfg.MaxLatency))
+	}
+	st.mu.Unlock()
+
+	if nap > 0 {
+		time.Sleep(nap)
+	}
+	n, err := src.Read(p[:max])
+
+	st.mu.Lock()
+	if n > 0 && st.chance(cfg.CorruptBit) {
+		st.corrupt(p[:n])
+	}
+	st.bytes += int64(n)
+	st.mu.Unlock()
+	return n, err
+}
+
+// writeFaulty is the shared faulty write path; deadline bounds stalls.
+func writeFaulty(st *state, dst io.Writer, p []byte, scratch *[]byte, deadline time.Time) (int, error) {
+	if len(p) == 0 {
+		return dst.Write(p)
+	}
+	st.mu.Lock()
+	cfg := st.cfg
+	if st.isReset() {
+		st.mu.Unlock()
+		return 0, &Error{Op: "write", Kind: KindReset}
+	}
+	if cfg.ResetAfter > 0 && st.bytes >= cfg.ResetAfter {
+		st.mu.Unlock()
+		st.tripReset()
+		return 0, &Error{Op: "write", Kind: KindReset}
+	}
+	if cfg.StallAfter > 0 && st.bytes >= cfg.StallAfter {
+		st.mu.Unlock()
+		return 0, st.stall("write", deadline)
+	}
+	if cfg.TruncateAfter > 0 && st.bytes >= cfg.TruncateAfter {
+		// Bytes vanish in flight: report success, deliver nothing.
+		st.bytes += int64(len(p))
+		st.mu.Unlock()
+		return len(p), nil
+	}
+
+	max := st.capAtThresholds(len(p))
+	if max > 1 && st.chance(cfg.PartialWrite) {
+		max = 1 + st.rng.Intn(max-1)
+	}
+	out := p[:max]
+	if st.chance(cfg.CorruptBit) {
+		*scratch = append((*scratch)[:0], out...)
+		st.corrupt(*scratch)
+		out = *scratch
+	}
+	var nap time.Duration
+	if st.chance(cfg.Latency) {
+		nap = time.Duration(st.rng.Float64() * float64(cfg.MaxLatency))
+	}
+	st.mu.Unlock()
+
+	if nap > 0 {
+		time.Sleep(nap)
+	}
+	n, err := dst.Write(out)
+
+	st.mu.Lock()
+	st.bytes += int64(n)
+	st.mu.Unlock()
+	return n, err
+}
+
+// Reader wraps an io.Reader with injected faults.
+type Reader struct {
+	src io.Reader
+	st  *state
+}
+
+// NewReader wraps src with the fault plan described by cfg.
+func NewReader(src io.Reader, cfg Config) *Reader {
+	return &Reader{src: src, st: newState(cfg, 'r')}
+}
+
+// Read implements io.Reader with the configured faults.
+func (r *Reader) Read(p []byte) (int, error) {
+	return readFaulty(r.st, r.src, p, time.Time{})
+}
+
+// Close releases any stalled operations. It does not close the underlying
+// reader.
+func (r *Reader) Close() error {
+	r.st.close()
+	return nil
+}
+
+// Writer wraps an io.Writer with injected faults.
+type Writer struct {
+	dst io.Writer
+	st  *state
+	buf []byte // scratch for corrupted copies
+}
+
+// NewWriter wraps dst with the fault plan described by cfg.
+func NewWriter(dst io.Writer, cfg Config) *Writer {
+	return &Writer{dst: dst, st: newState(cfg, 'w')}
+}
+
+// Write implements io.Writer with the configured faults.
+func (w *Writer) Write(p []byte) (int, error) {
+	return writeFaulty(w.st, w.dst, p, &w.buf, time.Time{})
+}
+
+// Close releases any stalled operations. It does not close the underlying
+// writer.
+func (w *Writer) Close() error {
+	w.st.close()
+	return nil
+}

@@ -1,0 +1,227 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"adaptio/internal/corpus"
+)
+
+func payload(n int) []byte { return corpus.Generate(corpus.Moderate, n, 1) }
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	src := payload(64 << 10)
+	var sink bytes.Buffer
+	w := NewWriter(&sink, Config{})
+	if _, err := io.Copy(w, bytes.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(sink.Bytes()), Config{})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("transparent wrapper altered data")
+	}
+}
+
+func TestShortReadsLoseNothing(t *testing.T) {
+	src := payload(128 << 10)
+	r := NewReader(bytes.NewReader(src), Config{Seed: 7, ShortRead: 0.9})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("short reads lost data")
+	}
+}
+
+func TestPartialWritesReportShortCounts(t *testing.T) {
+	src := payload(64 << 10)
+	var sink bytes.Buffer
+	w := NewWriter(&sink, Config{Seed: 3, PartialWrite: 0.9})
+	// Caller that handles short counts: resend the tail until done.
+	sawShort := false
+	for off := 0; off < len(src); {
+		end := off + 1024
+		if end > len(src) {
+			end = len(src)
+		}
+		n, err := w.Write(src[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < end-off {
+			sawShort = true
+		}
+		off += n
+	}
+	if !sawShort {
+		t.Fatal("no partial write was injected at p=0.9")
+	}
+	if !bytes.Equal(sink.Bytes(), src) {
+		t.Fatal("partial writes with a correct caller lost data")
+	}
+}
+
+func TestCorruptionFlipsBits(t *testing.T) {
+	src := payload(32 << 10)
+	r := NewReader(bytes.NewReader(src), Config{Seed: 11, CorruptBit: 0.5})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(src) {
+		t.Fatalf("corruption changed length: %d != %d", len(got), len(src))
+	}
+	if bytes.Equal(got, src) {
+		t.Fatal("no bit was flipped at p=0.5")
+	}
+}
+
+func TestTruncateEndsStreamEarly(t *testing.T) {
+	src := payload(32 << 10)
+	r := NewReader(bytes.NewReader(src), Config{Seed: 5, TruncateAfter: 1000})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 {
+		t.Fatalf("delivered %d bytes, want exactly 1000", len(got))
+	}
+	if !bytes.Equal(got, src[:1000]) {
+		t.Fatal("prefix before truncation was altered")
+	}
+}
+
+func TestResetTripsBothDirectionsAndPeer(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := WrapConn(a, Config{Seed: 9, ResetAfter: 100})
+
+	go io.Copy(io.Discard, b) // drain the peer
+	buf := payload(4096)
+	var total int
+	var err error
+	for {
+		var n int
+		n, err = fc.Write(buf)
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != KindReset {
+		t.Fatalf("got %v, want KindReset *Error", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("reset error does not wrap ErrInjected")
+	}
+	if total != 100 {
+		t.Fatalf("reset after %d bytes, want exactly 100", total)
+	}
+	// The other direction fails too, and the peer observes the close.
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after reset: %v", err)
+	}
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer did not observe the reset")
+	}
+}
+
+func TestStallHonorsDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := WrapConn(a, Config{Seed: 1, StallAfter: 0, TruncateAfter: 0})
+	fc.rst.cfg.StallAfter = 1 // stall immediately after first byte
+	go b.Write(payload(16))
+
+	one := make([]byte, 1)
+	if _, err := fc.Read(one); err != nil {
+		t.Fatal(err)
+	}
+	fc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := fc.Read(one)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("stalled read returned %v, want timeout net.Error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("stall outlived deadline by far: %v", elapsed)
+	}
+}
+
+func TestStallReleasedByClose(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := WrapConn(a, Config{Seed: 1, StallAfter: 1})
+	go b.Write(payload(16))
+	one := make([]byte, 1)
+	if _, err := fc.Read(one); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		fc.Close()
+	}()
+	_, err := fc.Read(one) // no deadline: only Close can release it
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != KindStall {
+		t.Fatalf("got %v, want KindStall", err)
+	}
+}
+
+// TestDeterministicReplay: the same seed produces bit-identical fault
+// behaviour — same delivered bytes, same error.
+func TestDeterministicReplay(t *testing.T) {
+	src := payload(64 << 10)
+	run := func() ([]byte, error) {
+		cfg := Config{Seed: 1234, ShortRead: 0.4, CorruptBit: 0.01, TruncateAfter: 50000}
+		r := NewReader(bytes.NewReader(src), cfg)
+		return io.ReadAll(r)
+	}
+	got1, err1 := run()
+	got2, err2 := run()
+	if !bytes.Equal(got1, got2) {
+		t.Fatal("replay delivered different bytes")
+	}
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("replay produced different errors: %v vs %v", err1, err2)
+	}
+}
+
+// TestScenarioDeterminism: scenario derivation is a pure function of
+// (seed, payload size).
+func TestScenarioDeterminism(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		a := ScenarioFromSeed(seed, 1<<20)
+		b := ScenarioFromSeed(seed, 1<<20)
+		if a != b {
+			t.Fatalf("seed %d: scenarios differ: %+v vs %+v", seed, a, b)
+		}
+	}
+}
+
+// TestScenarioCoverage: the generator produces every profile within a
+// modest seed range, so "50 seeded scenarios" really covers the model.
+func TestScenarioCoverage(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		seen[ScenarioFromSeed(seed, 1<<20).Profile] = true
+	}
+	for _, p := range []string{"clean", "benign-fragmented", "benign-slow", "corrupt", "reset", "truncate", "stall", "mixed"} {
+		if !seen[p] {
+			t.Errorf("profile %q never generated in 64 seeds", p)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package leakcheck asserts that tests do not leak goroutines. It is a
+// dependency-free take on the well-known goleak pattern: snapshot the
+// goroutines alive when the test starts, and at cleanup time poll until
+// every goroutine created since has exited (shutdown is asynchronous, so a
+// grace window avoids flakes) or fail with the offending stacks.
+//
+// Usage, first line of a test:
+//
+//	leakcheck.Check(t)
+//
+// Register it before creating the resources under test: t.Cleanup runs
+// last-in-first-out, so the leak check then executes after the test's own
+// cleanups have torn everything down.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredSubstrings mark goroutines that are not leaks: test harness
+// machinery and long-lived runtime helpers.
+var ignoredSubstrings = []string{
+	"testing.tRunner",
+	"testing.(*T).Run",
+	"testing.runTests",
+	"testing.(*M).",
+	"testing.runFuzzing",
+	"testing.fRunner",
+	"runtime.goexit0",
+	"signal.signal_recv",
+	"runtime/trace.Start",
+	"leakcheck.snapshot",
+	"runtime.gc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"os/signal.loop",
+	"net.runtime_pollWait, locked to thread", // netpoll init helper
+}
+
+// goroutine is one parsed stack block from runtime.Stack(all=true).
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// snapshot parses all current goroutine stacks.
+func snapshot() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		header, _, _ := strings.Cut(block, "\n")
+		// header looks like "goroutine 12 [running]:".
+		fields := strings.Fields(header)
+		if len(fields) < 2 || fields[0] != "goroutine" {
+			continue
+		}
+		out = append(out, goroutine{id: fields[1], stack: block})
+	}
+	return out
+}
+
+// interesting reports whether g could be a leak worth reporting.
+func interesting(g goroutine) bool {
+	for _, s := range ignoredSubstrings {
+		if strings.Contains(g.stack, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Check registers a cleanup that fails t if goroutines created after this
+// call are still running when the test (including its other cleanups)
+// finishes. Call it before creating the resources under test.
+func Check(t testing.TB) {
+	t.Helper()
+	before := map[string]bool{}
+	for _, g := range snapshot() {
+		before[g.id] = true
+	}
+	t.Cleanup(func() {
+		var leaked []goroutine
+		// Shutdown is asynchronous; give goroutines a grace window.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			leaked = leaked[:0]
+			for _, g := range snapshot() {
+				if !before[g.id] && interesting(g) {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		sort.Slice(leaked, func(i, j int) bool { return leaked[i].id < leaked[j].id })
+		var sb strings.Builder
+		for _, g := range leaked {
+			fmt.Fprintf(&sb, "\n%s\n", g.stack)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:%s", len(leaked), sb.String())
+	})
+}

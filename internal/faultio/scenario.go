@@ -1,0 +1,86 @@
+package faultio
+
+import (
+	"fmt"
+	"time"
+
+	"adaptio/internal/xrand"
+)
+
+// Scenario is one seeded chaos scenario: a fault configuration plus the
+// ground truth of whether it can lose or damage data. Benign scenarios must
+// deliver byte-identical payloads; destructive ones are allowed to fail,
+// but only fast and typed.
+type Scenario struct {
+	Seed        uint64
+	Profile     string
+	Cfg         Config
+	Destructive bool
+}
+
+// String names the scenario for test output.
+func (s Scenario) String() string {
+	return fmt.Sprintf("seed=%d/%s", s.Seed, s.Profile)
+}
+
+// ScenarioFromSeed derives a reproducible scenario for a transfer of
+// roughly payloadBytes application bytes. The seed picks a fault profile
+// and its magnitudes; byte thresholds land inside the transfer so
+// mid-stream faults actually strike mid-stream. Equal (seed, payloadBytes)
+// always yield the equal scenarios.
+func ScenarioFromSeed(seed uint64, payloadBytes int) Scenario {
+	rng := xrand.New(seed)
+	// A threshold somewhere in the first ~80% of the wire stream. The
+	// wire carries compressed bytes, so aim low to strike before EOF.
+	threshold := func() int64 {
+		if payloadBytes < 64 {
+			return 1
+		}
+		return 1 + int64(rng.Intn(payloadBytes*4/5))
+	}
+	s := Scenario{Seed: seed, Cfg: Config{Seed: rng.Uint64(), MaxLatency: time.Millisecond}}
+	switch rng.Intn(8) {
+	case 0:
+		s.Profile = "clean"
+	case 1:
+		s.Profile = "benign-fragmented"
+		s.Cfg.ShortRead = 0.3 + 0.6*rng.Float64()
+		s.Cfg.PartialWrite = 0.3 + 0.6*rng.Float64()
+	case 2:
+		s.Profile = "benign-slow"
+		s.Cfg.ShortRead = 0.5 * rng.Float64()
+		s.Cfg.PartialWrite = 0.5 * rng.Float64()
+		s.Cfg.Latency = 0.05 + 0.1*rng.Float64()
+	case 3:
+		s.Profile = "corrupt"
+		s.Cfg.CorruptBit = 0.05 + 0.3*rng.Float64()
+		s.Destructive = true
+	case 4:
+		s.Profile = "reset"
+		s.Cfg.ResetAfter = threshold()
+		s.Destructive = true
+	case 5:
+		s.Profile = "truncate"
+		s.Cfg.TruncateAfter = threshold()
+		s.Destructive = true
+	case 6:
+		s.Profile = "stall"
+		s.Cfg.StallAfter = threshold()
+		s.Destructive = true
+	case 7:
+		s.Profile = "mixed"
+		s.Cfg.ShortRead = 0.4 * rng.Float64()
+		s.Cfg.PartialWrite = 0.4 * rng.Float64()
+		s.Cfg.Latency = 0.05 * rng.Float64()
+		switch rng.Intn(3) {
+		case 0:
+			s.Cfg.CorruptBit = 0.02 + 0.1*rng.Float64()
+		case 1:
+			s.Cfg.ResetAfter = threshold()
+		case 2:
+			s.Cfg.TruncateAfter = threshold()
+		}
+		s.Destructive = true
+	}
+	return s
+}

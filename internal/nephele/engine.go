@@ -41,6 +41,17 @@ type InputGate struct {
 	openFns []func() (io.Reader, error)
 	start   sync.Once
 	recs    chan inRec
+
+	// stop releases producer goroutines blocked on a full recs channel when
+	// the consuming subtask abandons the gate before EOF (task error).
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// abandon releases the gate's producer goroutines without draining. Safe to
+// call multiple times and concurrently with ReadRecord.
+func (g *InputGate) abandon() {
+	g.stopOnce.Do(func() { close(g.stop) })
 }
 
 type inRec struct {
@@ -60,9 +71,17 @@ func (g *InputGate) ReadRecord() ([]byte, error) {
 			wg.Add(1)
 			go func(open func() (io.Reader, error)) {
 				defer wg.Done()
+				send := func(r inRec) bool {
+					select {
+					case ch <- r:
+						return true
+					case <-g.stop:
+						return false
+					}
+				}
 				r, err := open()
 				if err != nil {
-					ch <- inRec{err: err}
+					send(inRec{err: err})
 					return
 				}
 				rr := NewRecordReader(r)
@@ -72,10 +91,12 @@ func (g *InputGate) ReadRecord() ([]byte, error) {
 						return
 					}
 					if err != nil {
-						ch <- inRec{err: err}
+						send(inRec{err: err})
 						return
 					}
-					ch <- inRec{rec: append([]byte(nil), rec...)}
+					if !send(inRec{rec: append([]byte(nil), rec...)}) {
+						return
+					}
 				}
 			}(open)
 		}
@@ -369,7 +390,7 @@ func runSubtask(ctx context.Context, g *JobGraph, v *Vertex, sub int, runtimes m
 	for _, edge := range v.inputs {
 		rt := runtimes[edge]
 		spec := edge.spec
-		gate := &InputGate{}
+		gate := &InputGate{stop: make(chan struct{})}
 		for pi := 0; pi < edge.from.parallelism; pi++ {
 			l := rt.links[pi][sub]
 			gate.openFns = append(gate.openFns, func() (io.Reader, error) {
@@ -382,6 +403,13 @@ func runSubtask(ctx context.Context, g *JobGraph, v *Vertex, sub int, runtimes m
 		}
 		tc.inputs = append(tc.inputs, gate)
 	}
+	// Whatever way the subtask exits, no producer goroutine may stay blocked
+	// on an abandoned gate (the task-error path skips the drain below).
+	defer func() {
+		for _, gate := range tc.inputs {
+			gate.abandon()
+		}
+	}()
 
 	// Output gates: open writers eagerly (TCP dials succeed against the
 	// listener backlog even before the consumer accepts).

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"adaptio/internal/corpus"
+	"adaptio/internal/faultio/leakcheck"
 	"adaptio/internal/nephele"
 )
 
@@ -207,6 +208,7 @@ func testRecords(n, size int) [][]byte {
 }
 
 func TestPipelineAllChannelTypes(t *testing.T) {
+	leakcheck.Check(t)
 	records := testRecords(200, 1000)
 	for _, typ := range []nephele.ChannelType{nephele.InMemory, nephele.Network, nephele.File} {
 		t.Run(typ.String(), func(t *testing.T) {
@@ -240,6 +242,7 @@ func TestPipelineAllChannelTypes(t *testing.T) {
 }
 
 func TestPipelineCompressionModes(t *testing.T) {
+	leakcheck.Check(t)
 	records := testRecords(300, 1024)
 	specs := map[string]nephele.ChannelSpec{
 		"network-static-light": {Type: nephele.Network, Compression: nephele.CompressionStatic, StaticLevel: 1},
@@ -269,6 +272,7 @@ func TestPipelineCompressionModes(t *testing.T) {
 // TestTransparency is the paper's integration claim: the same task code runs
 // unchanged whether compression is off, static, or adaptive.
 func TestTransparency(t *testing.T) {
+	leakcheck.Check(t)
 	records := testRecords(100, 2048)
 	var reference [][]byte
 	for _, spec := range []nephele.ChannelSpec{
@@ -293,6 +297,7 @@ func TestTransparency(t *testing.T) {
 }
 
 func TestFanOutFanIn(t *testing.T) {
+	leakcheck.Check(t)
 	// 1 source -> 4 parallel mappers -> 1 sink; records distributed
 	// round-robin and merged.
 	const n = 400
@@ -331,6 +336,7 @@ func TestFanOutFanIn(t *testing.T) {
 }
 
 func TestDiamondTopology(t *testing.T) {
+	leakcheck.Check(t)
 	// src -> (left, right) -> sink: two edges into one sink vertex.
 	const n = 100
 	g := nephele.NewJobGraph("diamond")
@@ -414,6 +420,7 @@ func (p ctxProbeTask) Run(ctx *nephele.TaskContext) error {
 // TestInMemoryAbortUnblocksBlockedWriter: a producer blocked on a full
 // in-memory channel must be released when a peer task fails.
 func TestInMemoryAbortUnblocksBlockedWriter(t *testing.T) {
+	leakcheck.Check(t)
 	g := nephele.NewJobGraph("abort")
 	src := g.AddVertex("src", nephele.SourceFunc(func(ctx *nephele.TaskContext, emit func([]byte) error) error {
 		for {
@@ -641,6 +648,7 @@ func (k keyRecorderTask) Run(ctx *nephele.TaskContext) error {
 }
 
 func TestTaskErrorPropagates(t *testing.T) {
+	leakcheck.Check(t)
 	g := nephele.NewJobGraph("err")
 	src := g.AddVertex("src", nephele.SourceFunc(func(ctx *nephele.TaskContext, emit func([]byte) error) error {
 		for i := 0; ; i++ {
@@ -662,6 +670,7 @@ func TestTaskErrorPropagates(t *testing.T) {
 }
 
 func TestTaskPanicRecovered(t *testing.T) {
+	leakcheck.Check(t)
 	g := nephele.NewJobGraph("panic")
 	g.AddVertex("boom", nephele.TaskFactory(func() nephele.Task { return panicTask{} }), 1)
 	_, err := (&nephele.Engine{}).Execute(context.Background(), g)
@@ -675,6 +684,7 @@ type panicTask struct{}
 func (panicTask) Run(*nephele.TaskContext) error { panic("kaboom") }
 
 func TestContextCancellation(t *testing.T) {
+	leakcheck.Check(t)
 	g := nephele.NewJobGraph("cancel")
 	src := g.AddVertex("src", nephele.SourceFunc(func(ctx *nephele.TaskContext, emit func([]byte) error) error {
 		for {
@@ -708,6 +718,7 @@ func TestContextCancellation(t *testing.T) {
 }
 
 func TestConsumerStopsEarlyProducerStillCompletes(t *testing.T) {
+	leakcheck.Check(t)
 	// A sink that returns after a few records without error would stall
 	// the producer if the engine did not drain the channel.
 	g := nephele.NewJobGraph("early")
@@ -753,6 +764,7 @@ func (earlyStopTask) Run(ctx *nephele.TaskContext) error {
 // sender task repeatedly writing a test file over an adaptively compressed
 // TCP network channel to a receiver task, then verifies volume accounting.
 func TestPaperSampleJob(t *testing.T) {
+	leakcheck.Check(t)
 	file := corpus.GenerateFile(corpus.High, 1)
 	const repeats = 8
 	g := nephele.NewJobGraph("sample-job")

@@ -48,6 +48,43 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // ErrBadFrame is wrapped by all framing errors.
 var ErrBadFrame = errors.New("stream: bad frame")
 
+// FrameError locates a framing error in the wire stream: Frame is the
+// zero-based index of the offending frame, Offset the wire byte offset of
+// its first header byte. It wraps the underlying cause, which in turn wraps
+// ErrBadFrame for framing-level corruption, so both
+// errors.Is(err, ErrBadFrame) and errors.As(err, *FrameError) work.
+type FrameError struct {
+	Frame  int64
+	Offset int64
+	Err    error
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("stream: frame %d at wire offset %d: %v", e.Frame, e.Offset, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// writeFull writes all of p to w, retrying on short writes. The io.Writer
+// contract promises an error whenever n < len(p), but fault-injected and
+// load-shedding transports (see internal/faultio) legitimately report short
+// counts with a nil error the way POSIX write(2) does; silently dropping
+// the tail of a frame there would corrupt the stream.
+func writeFull(w io.Writer, p []byte) error {
+	for len(p) > 0 {
+		n, err := w.Write(p)
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return io.ErrShortWrite
+		}
+		p = p[n:]
+	}
+	return nil
+}
+
 // header is the decoded form of a frame header.
 type header struct {
 	codecID uint8
@@ -118,7 +155,7 @@ func encodeFrame(dst []byte, ladder compress.Ladder, level int, block []byte) (o
 // used, and any I/O error.
 func writeFrame(w io.Writer, ladder compress.Ladder, level int, block, scratch []byte) (payload int, codecID uint8, err error) {
 	frame, codecID := encodeFrame(scratch[:0], ladder, level, block)
-	if _, err := w.Write(frame); err != nil {
+	if err := writeFull(w, frame); err != nil {
 		return 0, codecID, err
 	}
 	return len(frame) - headerSize, codecID, nil

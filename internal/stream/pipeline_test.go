@@ -8,10 +8,12 @@ import (
 	"time"
 
 	"adaptio/internal/corpus"
+	"adaptio/internal/faultio/leakcheck"
 	"adaptio/internal/vclock"
 )
 
 func TestParallelRoundTripAllKinds(t *testing.T) {
+	leakcheck.Check(t)
 	for _, workers := range []int{2, 4, 8} {
 		for _, kind := range corpus.Kinds() {
 			src := corpus.Generate(kind, 600<<10, 3)
@@ -43,6 +45,7 @@ func TestParallelRoundTripAllKinds(t *testing.T) {
 // even when later blocks compress much faster than earlier ones. Blocks of
 // wildly different compressibility exercise the reorder buffer.
 func TestParallelFramesStayOrdered(t *testing.T) {
+	leakcheck.Check(t)
 	var src []byte
 	for i := 0; i < 64; i++ {
 		var chunk []byte
@@ -74,6 +77,7 @@ func TestParallelFramesStayOrdered(t *testing.T) {
 }
 
 func TestParallelAdaptive(t *testing.T) {
+	leakcheck.Check(t)
 	clk := vclock.NewManual()
 	src := corpus.Generate(corpus.High, 1<<20, 5)
 	var wire bytes.Buffer
@@ -97,6 +101,7 @@ func TestParallelAdaptive(t *testing.T) {
 }
 
 func TestParallelFlushWaitsForInFlight(t *testing.T) {
+	leakcheck.Check(t)
 	var wire bytes.Buffer
 	w := mustWriter(t, &wire, WriterConfig{Static: true, StaticLevel: LevelHeavy, Parallelism: 4, BlockSize: 8 << 10})
 	src := corpus.Generate(corpus.Moderate, 256<<10, 2)
@@ -117,6 +122,7 @@ func TestParallelFlushWaitsForInFlight(t *testing.T) {
 }
 
 func TestParallelErrorPropagates(t *testing.T) {
+	leakcheck.Check(t)
 	w := mustWriter(t, &errWriter{n: 100}, WriterConfig{
 		Static: true, StaticLevel: 0, Parallelism: 3, BlockSize: 4 << 10,
 	})

@@ -18,6 +18,11 @@ import (
 //
 // A ParallelReader must be Closed when abandoned before EOF, or its
 // goroutines leak. Reading to EOF (or any error) also releases them.
+//
+// ParallelReader follows the same corrupt-frame policy as Reader: the first
+// bad frame surfaces as a sticky *FrameError (frame index + wire offset,
+// wrapping ErrBadFrame), no corrupt bytes are delivered, allocation stays
+// bounded by MaxBlockSize, and no goroutine outlives EOF, error, or Close.
 type ParallelReader struct {
 	out     chan pframe
 	cur     []byte
@@ -35,6 +40,7 @@ type pframe struct {
 	data []byte
 	err  error
 	wire int64
+	off  int64 // wire offset of the frame's first header byte
 }
 
 // NewParallelReader creates a reader over src with the given worker count
@@ -57,12 +63,16 @@ func NewParallelReader(src io.Reader, workers int) (*ParallelReader, error) {
 	go func() {
 		defer close(jobs)
 		var seq uint64
+		var off int64 // wire offset of the frame about to be read
 		for {
 			raw, _, err := readRawFrame(src)
 			if err == io.EOF {
 				return
 			}
-			job := pframe{seq: seq, data: raw, err: err, wire: int64(len(raw))}
+			if err != nil {
+				err = &FrameError{Frame: int64(seq), Offset: off, Err: err}
+			}
+			job := pframe{seq: seq, data: raw, err: err, wire: int64(len(raw)), off: off}
 			select {
 			case jobs <- job:
 			case <-r.closeCh:
@@ -72,6 +82,7 @@ func NewParallelReader(src io.Reader, workers int) (*ParallelReader, error) {
 				return
 			}
 			seq++
+			off += int64(len(raw))
 		}
 	}()
 
@@ -87,7 +98,10 @@ func NewParallelReader(src io.Reader, workers int) (*ParallelReader, error) {
 					continue
 				}
 				block, err := decodeRawFrame(job.data)
-				results <- pframe{seq: job.seq, data: block, err: err, wire: job.wire}
+				if err != nil {
+					err = &FrameError{Frame: int64(job.seq), Offset: job.off, Err: err}
+				}
+				results <- pframe{seq: job.seq, data: block, err: err, wire: job.wire, off: job.off}
 			}
 		}()
 	}

@@ -10,6 +10,15 @@ import (
 // so it needs no knowledge of the sender's ladder or decision model, exactly
 // as the paper requires for transparent mid-stream level switches.
 //
+// Corrupt-frame policy (see docs/robustness.md): a Reader fails fast. The
+// first frame that is truncated, has a damaged header, an unknown codec, a
+// payload that does not decompress, or a CRC mismatch makes Read return a
+// *FrameError carrying the frame index and wire byte offset and wrapping
+// ErrBadFrame; the error is sticky and every later Read returns it again.
+// No bytes from the bad frame are ever delivered (CRC is verified before
+// delivery), allocation is bounded by MaxBlockSize however hostile the
+// header, and a Reader never panics on any input.
+//
 // Reader is not safe for concurrent use.
 type Reader struct {
 	src     io.Reader
@@ -54,7 +63,12 @@ func (r *Reader) fill() error {
 	block, scratch, rawLen, err := readFrame(r.src, r.block[:0], r.payload)
 	r.payload = scratch
 	if err != nil {
-		return err
+		if err == io.EOF {
+			return err
+		}
+		// r.wireBytes counts the wire bytes of frames decoded so far,
+		// which is exactly the offset of the frame that just failed.
+		return &FrameError{Frame: r.blocks, Offset: r.wireBytes, Err: err}
 	}
 	r.block = block
 	r.off = 0

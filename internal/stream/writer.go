@@ -183,7 +183,7 @@ func NewWriter(dst io.Writer, cfg WriterConfig) (*Writer, error) {
 // writeEncodedFrame implements writeSink for the parallel pipeline: it
 // pushes one finished frame downstream and accounts it.
 func (w *Writer) writeEncodedFrame(f encodedFrame) error {
-	if _, err := w.dst.Write(f.frame); err != nil {
+	if err := writeFull(w.dst, f.frame); err != nil {
 		return err
 	}
 	w.statsMu.Lock()

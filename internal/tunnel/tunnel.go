@@ -11,6 +11,13 @@
 // Each direction of every connection carries an independent adaptive
 // compression stream (its own Decider), so the two directions converge to
 // different levels when their data or available bandwidth differ.
+//
+// The tunnel is hardened against the faults shared cloud I/O actually
+// produces (see docs/robustness.md and internal/faultio): per-connection
+// idle deadlines tear down stalled peers, dials retry with exponential
+// backoff and jitter, shutdown is bounded by a grace period, and every
+// failed connection direction reports a typed, wrapped error through
+// ConnStats.Err.
 package tunnel
 
 import (
@@ -23,9 +30,28 @@ import (
 	"time"
 
 	"adaptio/internal/stream"
+	"adaptio/internal/xrand"
 )
 
-// Config tunes the compression side of a tunnel endpoint.
+// Typed sentinels carried (wrapped) by ConnStats.Err and relay errors.
+var (
+	// ErrDial marks a connection that never reached its peer: all dial
+	// attempts (including retries) failed.
+	ErrDial = errors.New("tunnel: dial failed")
+	// ErrIdleTimeout marks a connection direction torn down because no
+	// bytes crossed it within Config.IdleTimeout.
+	ErrIdleTimeout = errors.New("tunnel: idle timeout")
+)
+
+// Dial/backoff defaults; see Config.
+const (
+	DefaultDialTimeout = 10 * time.Second
+	DefaultDialBackoff = 100 * time.Millisecond
+	maxDialBackoff     = 5 * time.Second
+)
+
+// Config tunes the compression and robustness behaviour of a tunnel
+// endpoint.
 type Config struct {
 	// Window and Alpha parameterize the decision model (zero values mean
 	// the paper's t=2 s, α=0.2).
@@ -35,10 +61,38 @@ type Config struct {
 	Static      bool
 	StaticLevel int
 	// OnDone, if non-nil, receives the sender-side compression stats of
-	// every finished connection direction.
+	// every finished connection direction. ConnStats.Err, when non-nil,
+	// wraps a typed sentinel: ErrIdleTimeout, stream.ErrBadFrame (via
+	// *stream.FrameError), or the transport's net.Error.
 	OnDone func(ConnStats)
 	// Logf, if non-nil, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
+
+	// DialTimeout bounds each dial attempt to the peer or target. Zero
+	// means DefaultDialTimeout.
+	DialTimeout time.Duration
+	// DialRetries is the number of extra dial attempts after the first
+	// fails (0 = fail fast, the pre-hardening behaviour). Retries back
+	// off exponentially from DialBackoff with ±50% jitter, capped at 5s.
+	DialRetries int
+	// DialBackoff is the base backoff between dial attempts. Zero means
+	// DefaultDialBackoff.
+	DialBackoff time.Duration
+	// IdleTimeout, if > 0, bounds how long a connection direction may go
+	// without a byte crossing it: each read and write carries a deadline
+	// of now+IdleTimeout, so a stalled or vanished peer is detected and
+	// the direction fails with an error wrapping ErrIdleTimeout instead
+	// of hanging forever.
+	IdleTimeout time.Duration
+	// ShutdownGrace bounds Endpoint.Close: active connections get this
+	// long to drain before being force-closed. Zero keeps the
+	// force-close-immediately behaviour.
+	ShutdownGrace time.Duration
+	// WrapWire, if non-nil, wraps the wire-side (compressed) connection
+	// before the relay uses it. This is the seam the fault-injection
+	// tests use (internal/faultio.WrapConn); production configs leave it
+	// nil.
+	WrapWire func(net.Conn) net.Conn
 }
 
 // ConnStats describes one finished connection direction.
@@ -64,22 +118,90 @@ func (c Config) logf(format string, args ...any) {
 	}
 }
 
+// jitterRNG drives backoff jitter. Determinism does not matter here (it
+// never decides outcomes, only spreads retry instants), but xrand keeps the
+// package free of math/rand's global state.
+var jitterRNG = struct {
+	sync.Mutex
+	*xrand.RNG
+}{RNG: xrand.New(0x7ea5)}
+
+func jitter(d time.Duration) time.Duration {
+	jitterRNG.Lock()
+	f := 0.5 + jitterRNG.Float64() // uniform in [0.5, 1.5)
+	jitterRNG.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// dialPeer dials addr with cfg's timeout, retry and backoff policy. The
+// returned error wraps ErrDial.
+func dialPeer(ctx context.Context, addr string, cfg Config) (net.Conn, error) {
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	backoff := cfg.DialBackoff
+	if backoff <= 0 {
+		backoff = DefaultDialBackoff
+	}
+	d := net.Dialer{Timeout: timeout}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if attempt >= cfg.DialRetries || ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %s after %d attempt(s): %v", ErrDial, addr, attempt+1, lastErr)
+		}
+		wait := jitter(backoff)
+		if backoff < maxDialBackoff {
+			backoff *= 2
+		}
+		cfg.logf("tunnel: dial %s attempt %d failed (%v), retrying in %v", addr, attempt+1, err, wait)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %s after %d attempt(s): %v", ErrDial, addr, attempt+1, lastErr)
+		}
+	}
+}
+
 // Endpoint is a running tunnel endpoint (entry or exit).
 type Endpoint struct {
 	ln     net.Listener
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	grace  time.Duration
 }
 
 // Addr returns the endpoint's listen address.
 func (e *Endpoint) Addr() net.Addr { return e.ln.Addr() }
 
-// Close stops accepting and waits for active connections to finish
-// draining (their peers see EOF).
+// Close stops accepting, gives active connections Config.ShutdownGrace to
+// drain (their peers see EOF), then force-closes whatever remains and waits
+// for every relay goroutine to exit. With a zero grace it force-closes
+// immediately.
 func (e *Endpoint) Close() error {
-	e.cancel()
 	err := e.ln.Close()
-	e.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	if e.grace > 0 {
+		t := time.NewTimer(e.grace)
+		select {
+		case <-done:
+			t.Stop()
+			e.cancel()
+			return err
+		case <-t.C:
+		}
+	}
+	e.cancel()
+	<-done
 	return err
 }
 
@@ -93,62 +215,110 @@ type halfCloser interface {
 
 // ListenEntry starts the entry endpoint: applications connect to listenAddr
 // with plain TCP; traffic is adaptively compressed toward the exit endpoint
-// at exitAddr.
+// at exitAddr. Dials to the exit retry per Config.DialRetries.
 func ListenEntry(ctx context.Context, listenAddr, exitAddr string, cfg Config) (*Endpoint, error) {
-	return listen(ctx, listenAddr, cfg, func() (net.Conn, error) {
-		return net.Dial("tcp", exitAddr)
-	}, true)
+	return listen(ctx, listenAddr, cfg, exitAddr, true)
 }
 
 // ListenExit starts the exit endpoint: it accepts compressed tunnel
 // connections and forwards plain TCP to targetAddr.
 func ListenExit(ctx context.Context, listenAddr, targetAddr string, cfg Config) (*Endpoint, error) {
-	return listen(ctx, listenAddr, cfg, func() (net.Conn, error) {
-		return net.Dial("tcp", targetAddr)
-	}, false)
+	return listen(ctx, listenAddr, cfg, targetAddr, false)
 }
 
-func listen(ctx context.Context, listenAddr string, cfg Config, dial func() (net.Conn, error), acceptsPlain bool) (*Endpoint, error) {
+func listen(ctx context.Context, listenAddr string, cfg Config, dialAddr string, acceptsPlain bool) (*Endpoint, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, err
 	}
 	runCtx, cancel := context.WithCancel(ctx)
-	ep := &Endpoint{ln: ln, cancel: cancel}
+	ep := &Endpoint{ln: ln, cancel: cancel, grace: cfg.ShutdownGrace}
 	ep.wg.Add(1)
 	go func() {
 		defer ep.wg.Done()
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
-				if runCtx.Err() != nil {
-					return
+				if runCtx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+					cfg.logf("tunnel: accept: %v", err)
 				}
-				cfg.logf("tunnel: accept: %v", err)
 				return
 			}
 			ep.wg.Add(1)
 			go func() {
 				defer ep.wg.Done()
-				peer, err := dial()
+				peer, err := dialPeer(runCtx, dialAddr, cfg)
 				if err != nil {
-					cfg.logf("tunnel: dial: %v", err)
+					cfg.logf("tunnel: %v", err)
 					conn.Close()
 					return
 				}
-				var relayErr error
+				var plain, wire net.Conn
 				if acceptsPlain {
-					relayErr = relay(runCtx, conn, peer, cfg, "entry->exit")
+					plain, wire = conn, peer
 				} else {
-					relayErr = relay(runCtx, peer, conn, cfg, "exit->entry")
+					plain, wire = peer, conn
 				}
-				if relayErr != nil {
+				if cfg.WrapWire != nil {
+					wire = cfg.WrapWire(wire)
+				}
+				direction := "exit->entry"
+				if acceptsPlain {
+					direction = "entry->exit"
+				}
+				if relayErr := relay(runCtx, plain, wire, cfg, direction); relayErr != nil {
 					cfg.logf("tunnel: relay: %v", relayErr)
 				}
 			}()
 		}
 	}()
 	return ep, nil
+}
+
+// idleConn applies Config.IdleTimeout as a rolling per-operation deadline:
+// every read and write must make progress within the window or fail with a
+// timeout. It deliberately does not forward CloseWrite — half-close stays
+// with the original conns in relay.
+type idleConn struct {
+	net.Conn
+	idle time.Duration
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *idleConn) Write(p []byte) (int, error) {
+	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.idle)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// withIdle wraps c with the idle deadline policy when configured.
+func withIdle(c net.Conn, idle time.Duration) net.Conn {
+	if idle <= 0 {
+		return c
+	}
+	return &idleConn{Conn: c, idle: idle}
+}
+
+// classify wraps err with the tunnel's typed sentinels: transport timeouts
+// (idle deadline expiries, stalled peers) become ErrIdleTimeout; everything
+// else passes through (stream framing errors already wrap
+// stream.ErrBadFrame, transport errors are net.Errors).
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrIdleTimeout, err)
+	}
+	return err
 }
 
 // relay shuttles one connection: bytes from plain are compressed onto wire,
@@ -173,6 +343,9 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 		}
 	}()
 
+	plainRW := withIdle(plain, cfg.IdleTimeout)
+	wireRW := withIdle(wire, cfg.IdleTimeout)
+
 	var wg sync.WaitGroup
 	errs := make(chan error, 2)
 
@@ -180,15 +353,16 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		w, err := stream.NewWriter(wire, cfg.writerConfig())
+		w, err := stream.NewWriter(wireRW, cfg.writerConfig())
 		if err != nil {
 			errs <- err
 			return
 		}
-		_, cpErr := io.Copy(w, plain)
+		_, cpErr := io.Copy(w, plainRW)
 		if closeErr := w.Close(); cpErr == nil {
 			cpErr = closeErr
 		}
+		cpErr = classify(cpErr)
 		if okW {
 			wireTCP.CloseWrite() // signal EOF downstream, keep reading
 		}
@@ -204,16 +378,16 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		r, err := stream.NewReader(wire)
+		r, err := stream.NewReader(wireRW)
 		if err != nil {
 			errs <- err
 			return
 		}
-		_, cpErr := io.Copy(plain, r)
+		_, cpErr := io.Copy(plainRW, r)
 		if okP {
 			plainTCP.CloseWrite()
 		}
-		if cpErr != nil {
+		if cpErr = classify(cpErr); cpErr != nil {
 			errs <- fmt.Errorf("decompress path: %w", cpErr)
 		}
 	}()
@@ -230,11 +404,20 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 	}
 }
 
-// isBenignNetErr filters the errors every TCP relay sees at teardown.
+// isBenignNetErr filters the errors every TCP relay sees at teardown. Idle
+// timeouts and framing errors are not benign: they indicate a stalled peer
+// or a corrupted wire and must be surfaced.
 func isBenignNetErr(err error) bool {
 	if err == nil || errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
 		return true
 	}
-	var ne *net.OpError
-	return errors.As(err, &ne)
+	if errors.Is(err, ErrIdleTimeout) || errors.Is(err, stream.ErrBadFrame) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false
+	}
+	var op *net.OpError
+	return errors.As(err, &op)
 }

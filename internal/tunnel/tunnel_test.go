@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"adaptio/internal/corpus"
+	"adaptio/internal/faultio/leakcheck"
 	"adaptio/internal/tunnel"
 )
 
@@ -79,6 +80,7 @@ func (c *statsCollector) snapshot() []tunnel.ConnStats {
 }
 
 func TestTunnelEchoRoundTrip(t *testing.T) {
+	leakcheck.Check(t)
 	addr, collector := startTunnel(t, tunnel.Config{Window: 30 * time.Millisecond})
 	payload := corpus.Generate(corpus.High, 4<<20, 1)
 
@@ -130,6 +132,7 @@ func TestTunnelEchoRoundTrip(t *testing.T) {
 }
 
 func TestTunnelStaticCompressionShrinksWire(t *testing.T) {
+	leakcheck.Check(t)
 	addr, collector := startTunnel(t, tunnel.Config{Static: true, StaticLevel: 1})
 	payload := corpus.Generate(corpus.High, 2<<20, 2)
 	conn, err := net.Dial("tcp", addr)
@@ -167,6 +170,7 @@ func TestTunnelStaticCompressionShrinksWire(t *testing.T) {
 // way and incompressible data the other through a single connection: each
 // direction has its own decision model, so the wire ratios must diverge.
 func TestTunnelDirectionsAdaptIndependently(t *testing.T) {
+	leakcheck.Check(t)
 	collector := &statsCollector{}
 	cfg := tunnel.Config{Static: true, StaticLevel: 1, OnDone: collector.add, Logf: t.Logf}
 
@@ -245,6 +249,7 @@ func TestTunnelDirectionsAdaptIndependently(t *testing.T) {
 }
 
 func TestTunnelManyConcurrentConnections(t *testing.T) {
+	leakcheck.Check(t)
 	addr, _ := startTunnel(t, tunnel.Config{Window: 20 * time.Millisecond})
 	const conns = 16
 	var wg sync.WaitGroup
@@ -282,6 +287,7 @@ func TestTunnelManyConcurrentConnections(t *testing.T) {
 }
 
 func TestTunnelEndpointClose(t *testing.T) {
+	leakcheck.Check(t)
 	echo := startEcho(t)
 	exit, err := tunnel.ListenExit(context.Background(), "127.0.0.1:0", echo, tunnel.Config{})
 	if err != nil {
@@ -298,6 +304,7 @@ func TestTunnelEndpointClose(t *testing.T) {
 }
 
 func TestTunnelExitDialFailure(t *testing.T) {
+	leakcheck.Check(t)
 	// Exit points at a dead target: client connections must be closed,
 	// not hang.
 	exit, err := tunnel.ListenExit(context.Background(), "127.0.0.1:0", "127.0.0.1:1", tunnel.Config{})
