@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short bench repro claims fuzz fuzz-smoke chaos cover clean
+.PHONY: all build test test-race test-short bench bench-alloc alloc-gate repro claims fuzz fuzz-smoke chaos cover clean
 
 all: build test
 
@@ -22,6 +22,16 @@ test-short:
 # One iteration of every paper table/figure benchmark with rendered output.
 bench:
 	$(GO) test -bench . -benchmem -benchtime=1x -v .
+
+# Data-plane allocation benchmarks (docs/performance.md). Compare against
+# the committed baseline in BENCH_alloc.json.
+bench-alloc:
+	$(GO) test -run '^$$' -bench '^BenchmarkAlloc' -benchmem -benchtime=300x ./internal/...
+
+# The AllocsPerRun regression gates (serial round trip, presized decodes).
+alloc-gate:
+	$(GO) test -run 'AllocGate|Presized|ReleasesAllBuffers' -count=1 -v \
+		./internal/stream/ ./internal/compress/lzfast/ ./internal/compress/lzheavy/
 
 # Full reproduction at the paper's 50 GB volume.
 repro:

@@ -1,0 +1,40 @@
+// Package blocktest wires the block arena's leak tracker into tests: a
+// suite calls Track(t) as its first line and the test fails if any buffer
+// acquired during the test is still unreleased when the test (including
+// its cleanups) finishes. It mirrors faultio/leakcheck for goroutines.
+package blocktest
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"adaptio/internal/block"
+)
+
+// Track enables buffer leak tracking for the duration of the test.
+// Register it before creating the resources under test: t.Cleanup runs
+// last-in-first-out, so the leak check executes after the test's own
+// cleanups have torn everything down. Shutdown is asynchronous in the
+// pipelined paths, so the check polls with a grace window before failing.
+func Track(t testing.TB) {
+	t.Helper()
+	snap, stop := block.StartTracking()
+	t.Cleanup(func() {
+		defer stop()
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = block.LeakedSince(snap)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("blocktest: %d buffer(s) leaked; acquired at:\n%s",
+			len(leaked), strings.Join(leaked, "\n"))
+	})
+}

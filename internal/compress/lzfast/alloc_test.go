@@ -1,0 +1,46 @@
+package lzfast_test
+
+import (
+	"testing"
+
+	"adaptio/internal/compress/lzfast"
+	"adaptio/internal/corpus"
+)
+
+// TestDecompressPresizedNoAlloc pins the satellite guarantee that a dst
+// with sufficient capacity is decoded into in place: the grown path at the
+// top of decompressBlock must not trigger, and no other allocation may
+// appear on the decode path.
+func TestDecompressPresizedNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	raw := corpus.Generate(corpus.Moderate, 128<<10, 1)
+	comp := lzfast.Fast{}.Compress(nil, raw)
+	dst := make([]byte, 0, len(raw))
+	avg := testing.AllocsPerRun(100, func() {
+		out, err := lzfast.Fast{}.Decompress(dst, comp, len(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(raw) {
+			t.Fatalf("decoded %d bytes, want %d", len(out), len(raw))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("presized Decompress allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// BenchmarkCompressHC exercises the pooled hash-chain state; -benchmem
+// shows the per-call table allocations removed by the pool.
+func BenchmarkCompressHC(b *testing.B) {
+	raw := corpus.Generate(corpus.Moderate, 128<<10, 1)
+	dst := make([]byte, 0, 2*len(raw))
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lzfast.HC{}.Compress(dst[:0], raw)
+	}
+}

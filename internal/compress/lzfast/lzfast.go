@@ -28,6 +28,7 @@ package lzfast
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"adaptio/internal/compress"
 )
@@ -191,15 +192,33 @@ func compressFast(dst, src []byte) []byte {
 	return emitSequence(dst, src[anchor:], 0, 0)
 }
 
+// hcState carries the hash-chain match finder's tables between compressHC
+// calls: the head table alone is 256 KB and the chain array scales with the
+// block, so allocating them per call dwarfs every other cost of the encoder.
+// The head table must be re-initialized on reuse (done in compressHC); the
+// chain array needs no clearing because entries are written before they are
+// read.
+type hcState struct {
+	head [1 << hcHashLog]int32
+	prev []int32
+}
+
+var hcPool = sync.Pool{New: func() any { return new(hcState) }}
+
 func compressHC(dst, src []byte, depth int) []byte {
 	if len(src) < minMatch+1 {
 		return emitSequence(dst, src, 0, 0)
 	}
-	head := make([]int32, 1<<hcHashLog)
+	st := hcPool.Get().(*hcState)
+	defer hcPool.Put(st)
+	head := st.head[:]
 	for i := range head {
 		head[i] = -1
 	}
-	prev := make([]int32, len(src))
+	if cap(st.prev) < len(src) {
+		st.prev = make([]int32, len(src))
+	}
+	prev := st.prev[:len(src)]
 	insert := func(pos int) {
 		h := hash4(load32(src, pos), hcHashLog)
 		prev[pos] = head[h]

@@ -1,0 +1,47 @@
+package lzheavy_test
+
+import (
+	"testing"
+
+	"adaptio/internal/compress/lzheavy"
+	"adaptio/internal/corpus"
+)
+
+// TestDecompressPresizedSteadyAllocs pins the satellite guarantee that a
+// dst with sufficient capacity never copy-grows: with the probability model
+// pooled, a presized decode settles at zero allocations per run (the pool
+// may be repopulated once after a GC, hence the < 1 bound rather than an
+// exact 0).
+func TestDecompressPresizedSteadyAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	raw := corpus.Generate(corpus.Moderate, 128<<10, 1)
+	comp := lzheavy.Codec{}.Compress(nil, raw)
+	dst := make([]byte, 0, len(raw))
+	avg := testing.AllocsPerRun(100, func() {
+		out, err := lzheavy.Codec{}.Decompress(dst, comp, len(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(raw) {
+			t.Fatalf("decoded %d bytes, want %d", len(out), len(raw))
+		}
+	})
+	if avg >= 1 {
+		t.Fatalf("presized Decompress allocates %.1f times per run, want < 1", avg)
+	}
+}
+
+// BenchmarkCompress exercises the pooled model and match-finder state;
+// -benchmem shows the per-call allocations removed by the pools.
+func BenchmarkCompress(b *testing.B) {
+	raw := corpus.Generate(corpus.Moderate, 128<<10, 1)
+	dst := make([]byte, 0, 2*len(raw))
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lzheavy.Codec{}.Compress(dst[:0], raw)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"adaptio/internal/compress"
 )
@@ -102,8 +103,10 @@ type probs struct {
 	slot       [64]prob
 }
 
-func newProbs() *probs {
-	p := &probs{}
+// init resets every adaptive probability to its neutral starting value;
+// required before each block (a pooled model carries the previous block's
+// adapted state otherwise).
+func (p *probs) init() {
 	p.isMatch[0], p.isMatch[1] = probInit, probInit
 	p.isRep, p.isRepG0, p.isRep0Long = probInit, probInit, probInit
 	p.isRepG1, p.isRepG2 = probInit, probInit
@@ -120,8 +123,30 @@ func newProbs() *probs {
 		}
 	}
 	fill(p.slot[:])
+}
+
+// probsPool recycles the ~3.5 KB model state across Compress/Decompress
+// calls; newProbs re-initializes it, putProbs returns it.
+var probsPool = sync.Pool{New: func() any { return new(probs) }}
+
+func newProbs() *probs {
+	p := probsPool.Get().(*probs)
+	p.init()
 	return p
 }
+
+func putProbs(p *probs) { probsPool.Put(p) }
+
+// mfState carries the match finder's hash-head table (256 KB) and chain
+// array (4 bytes per input byte) between Compress calls. The head table is
+// re-initialized per call; the chain array needs no clearing because
+// entries are written before read.
+type mfState struct {
+	head      [1 << hashLog]int32
+	prevChain []int32
+}
+
+var mfPool = sync.Pool{New: func() any { return new(mfState) }}
 
 // ---------- range encoder ----------
 
@@ -375,16 +400,22 @@ func (c Codec) Compress(dst, src []byte) []byte {
 		depth = 128
 	}
 	p := newProbs()
+	defer putProbs(p)
 	enc := newRangeEncoder(dst)
 	if len(src) == 0 {
 		return enc.flush()
 	}
 
-	head := make([]int32, 1<<hashLog)
+	mf := mfPool.Get().(*mfState)
+	defer mfPool.Put(mf)
+	head := mf.head[:]
 	for i := range head {
 		head[i] = -1
 	}
-	prevChain := make([]int32, len(src))
+	if cap(mf.prevChain) < len(src) {
+		mf.prevChain = make([]int32, len(src))
+	}
+	prevChain := mf.prevChain[:len(src)]
 	insert := func(pos int) {
 		if pos+minMatch > len(src) {
 			return
@@ -548,6 +579,7 @@ func (Codec) Decompress(dst, src []byte, decompressedSize int) ([]byte, error) {
 		dst = grown
 	}
 	p := newProbs()
+	defer putProbs(p)
 	dec := newRangeDecoder(src)
 	prevOp := 0
 	var reps [4]int

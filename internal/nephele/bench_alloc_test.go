@@ -1,0 +1,74 @@
+package nephele
+
+import (
+	"io"
+	"testing"
+
+	"adaptio/internal/corpus"
+)
+
+// BenchmarkAllocNetChannelChurn measures the per-channel cost of a Nephele
+// network channel: open a TCP link, layer the compression stream and record
+// framing on it, push 16 x 64 KB records through, tear it down. This is the
+// channel-setup-plus-data-plane path every subtask pair pays in an N x M
+// link mesh. Baseline in BENCH_alloc.json; run via make bench-alloc.
+func BenchmarkAllocNetChannelChurn(b *testing.B) {
+	rec := corpus.Generate(corpus.Moderate, 64<<10, 3)
+	const records = 16
+	spec := ChannelSpec{Type: Network, Compression: CompressionStatic, StaticLevel: 1}
+	b.SetBytes(int64(records * len(rec)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := newNetLink()
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			r, err := l.openReader()
+			if err != nil {
+				done <- err
+				return
+			}
+			wr, err := wrapReader(r, spec)
+			if err != nil {
+				done <- err
+				return
+			}
+			rr := NewRecordReader(wr)
+			for {
+				_, err := rr.ReadRecord()
+				if err == io.EOF {
+					done <- nil
+					return
+				}
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+		}()
+		wc, err := l.openWriter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, closeFn, _, err := wrapWriter(wc, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rw := NewRecordWriter(w)
+		for j := 0; j < records; j++ {
+			if err := rw.WriteRecord(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := closeFn(); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		l.abort(io.EOF) // close listener and conns
+	}
+}

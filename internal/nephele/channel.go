@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 
+	"adaptio/internal/block"
 	"adaptio/internal/ratelimit"
 	"adaptio/internal/stream"
 )
@@ -31,8 +32,16 @@ type link interface {
 
 // memLink is a buffered in-process pipe carrying byte chunks. It bounds
 // memory like Nephele's in-memory channels bound their exchange buffers.
+//
+// Buffer lifecycle (see internal/block): chunks travel the queue as pooled
+// arena buffers. The writer acquires and fills a Buf per Write and hands
+// ownership to the queue; the reader releases each Buf once its bytes are
+// consumed. On abort, whichever side observes the closed link drains the
+// queue and releases the stranded buffers (the post-send re-check in Write
+// closes the race where a send slips in after a drain), so an aborted link
+// returns its buffers to the arena too.
 type memLink struct {
-	ch     chan []byte
+	ch     chan *block.Buf
 	errMu  sync.Mutex
 	err    error
 	closed chan struct{}
@@ -40,7 +49,7 @@ type memLink struct {
 }
 
 func newMemLink() *memLink {
-	return &memLink{ch: make(chan []byte, 32), closed: make(chan struct{})}
+	return &memLink{ch: make(chan *block.Buf, 32), closed: make(chan struct{})}
 }
 
 func (l *memLink) openWriter() (io.WriteCloser, error) { return &memWriter{l: l}, nil }
@@ -54,6 +63,7 @@ func (l *memLink) abort(err error) {
 	}
 	l.errMu.Unlock()
 	l.once.Do(func() { close(l.closed) })
+	l.drain()
 }
 
 func (l *memLink) aborted() error {
@@ -62,23 +72,55 @@ func (l *memLink) aborted() error {
 	return l.err
 }
 
+// drain releases every chunk currently queued. Only called once the link is
+// dead (closed is closed or the writer closed the queue), when the data can
+// no longer be delivered. Concurrent drains are safe: each Buf is received,
+// and therefore released, exactly once.
+func (l *memLink) drain() {
+	for {
+		select {
+		case b, ok := <-l.ch:
+			if !ok {
+				return
+			}
+			b.Release()
+		default:
+			return
+		}
+	}
+}
+
 type memWriter struct {
 	l    *memLink
 	once sync.Once
 }
 
 func (w *memWriter) Write(p []byte) (int, error) {
-	buf := append([]byte(nil), p...)
+	buf := block.GetLen(len(p))
+	copy(buf.B, p)
 	select {
 	case w.l.ch <- buf:
+		// Re-check after the send: if the link was aborted concurrently,
+		// the aborter's drain may already have run, so reclaim the queue
+		// ourselves and report the failure.
+		select {
+		case <-w.l.closed:
+			w.l.drain()
+			return 0, w.closedErr()
+		default:
+		}
 		return len(p), nil
 	case <-w.l.closed:
-		err := w.l.aborted()
-		if err == nil {
-			err = errors.New("nephele: write on closed in-memory channel")
-		}
-		return 0, err
+		buf.Release()
+		return 0, w.closedErr()
 	}
+}
+
+func (w *memWriter) closedErr() error {
+	if err := w.l.aborted(); err != nil {
+		return err
+	}
+	return errors.New("nephele: write on closed in-memory channel")
 }
 
 func (w *memWriter) Close() error {
@@ -87,12 +129,14 @@ func (w *memWriter) Close() error {
 }
 
 type memReader struct {
-	l   *memLink
-	cur []byte
+	l        *memLink
+	cur      []byte
+	curArena *block.Buf
 }
 
 func (r *memReader) Read(p []byte) (int, error) {
 	for len(r.cur) == 0 {
+		r.releaseCur()
 		select {
 		case buf, ok := <-r.l.ch:
 			if !ok {
@@ -101,8 +145,10 @@ func (r *memReader) Read(p []byte) (int, error) {
 				}
 				return 0, io.EOF
 			}
-			r.cur = buf
+			r.curArena = buf
+			r.cur = buf.B
 		case <-r.l.closed:
+			r.l.drain()
 			if err := r.l.aborted(); err != nil {
 				return 0, err
 			}
@@ -111,7 +157,18 @@ func (r *memReader) Read(p []byte) (int, error) {
 	}
 	n := copy(p, r.cur)
 	r.cur = r.cur[n:]
+	if len(r.cur) == 0 {
+		r.releaseCur()
+	}
 	return n, nil
+}
+
+func (r *memReader) releaseCur() {
+	if r.curArena != nil {
+		r.curArena.Release()
+		r.curArena = nil
+	}
+	r.cur = nil
 }
 
 // ---------- network channel ----------

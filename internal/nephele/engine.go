@@ -6,6 +6,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"adaptio/internal/stream"
 )
 
 // TaskContext gives a running subtask access to its input and output gates
@@ -85,6 +87,10 @@ func (g *InputGate) ReadRecord() ([]byte, error) {
 					return
 				}
 				rr := NewRecordReader(r)
+				defer rr.Close() // recycle the record buffer if we bail before EOF
+				if sr, ok := r.(*stream.Reader); ok {
+					defer sr.Close() // likewise the decompressor's block buffers
+				}
 				for {
 					rec, err := rr.ReadRecord()
 					if err == io.EOF {

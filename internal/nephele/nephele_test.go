@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"adaptio/internal/block/blocktest"
 	"adaptio/internal/corpus"
 	"adaptio/internal/faultio/leakcheck"
 	"adaptio/internal/nephele"
@@ -21,6 +22,7 @@ import (
 // ---------- record framing ----------
 
 func TestRecordRoundTrip(t *testing.T) {
+	blocktest.Track(t) // the EOF return must recycle the record buffer
 	var buf bytes.Buffer
 	w := nephele.NewRecordWriter(&buf)
 	records := [][]byte{
@@ -209,6 +211,7 @@ func testRecords(n, size int) [][]byte {
 
 func TestPipelineAllChannelTypes(t *testing.T) {
 	leakcheck.Check(t)
+	blocktest.Track(t) // channel queues and record readers must recycle all buffers
 	records := testRecords(200, 1000)
 	for _, typ := range []nephele.ChannelType{nephele.InMemory, nephele.Network, nephele.File} {
 		t.Run(typ.String(), func(t *testing.T) {
@@ -243,6 +246,7 @@ func TestPipelineAllChannelTypes(t *testing.T) {
 
 func TestPipelineCompressionModes(t *testing.T) {
 	leakcheck.Check(t)
+	blocktest.Track(t)
 	records := testRecords(300, 1024)
 	specs := map[string]nephele.ChannelSpec{
 		"network-static-light": {Type: nephele.Network, Compression: nephele.CompressionStatic, StaticLevel: 1},

@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"adaptio/internal/block"
 )
 
 // MaxRecordSize bounds a single record; larger writes are rejected and
@@ -59,10 +61,17 @@ func (rw *RecordWriter) WriteRecord(p []byte) error {
 func (rw *RecordWriter) Counters() (records, bytes int64) { return rw.records, rw.bytes }
 
 // RecordReader decodes records framed by RecordWriter.
+//
+// Buffer lifecycle (see internal/block): the record buffer comes from the
+// block arena and is reused across ReadRecord calls, swapped for a larger
+// class only when a record outgrows it. Any error return — including the
+// io.EOF that ends a healthy stream — recycles the buffer, so a reader
+// drained to EOF leaves nothing behind; a reader abandoned mid-stream
+// should be Closed to return its buffer to the arena.
 type RecordReader struct {
 	r       io.Reader
 	br      byteReaderAdapter
-	buf     []byte
+	arena   *block.Buf
 	records int64
 }
 
@@ -76,29 +85,51 @@ func NewRecordReader(r io.Reader) *RecordReader {
 // ReadRecord returns the next record. The returned slice is reused across
 // calls; callers that retain it must copy. It returns io.EOF at a clean end
 // of stream and io.ErrUnexpectedEOF when the stream ends inside a record.
+// Any error (io.EOF included) invalidates previously returned slices.
 func (rr *RecordReader) ReadRecord() ([]byte, error) {
 	// binary.ReadUvarint returns io.EOF only when no byte of the varint
 	// was read (a clean record boundary) and io.ErrUnexpectedEOF when the
 	// stream ends mid-varint.
 	size, err := binary.ReadUvarint(&rr.br)
 	if err != nil {
+		rr.releaseBuf()
 		return nil, err
 	}
 	if size > MaxRecordSize {
+		rr.releaseBuf()
 		return nil, fmt.Errorf("nephele: corrupt stream: record length %d", size)
 	}
-	if cap(rr.buf) < int(size) {
-		rr.buf = make([]byte, size)
+	if rr.arena == nil {
+		rr.arena = block.Get(int(size))
+	} else if rr.arena.Cap() < int(size) {
+		rr.arena.Release()
+		rr.arena = block.Get(int(size))
 	}
-	rr.buf = rr.buf[:size]
-	if _, err := io.ReadFull(rr.r, rr.buf); err != nil {
+	buf := rr.arena.B[:size]
+	if _, err := io.ReadFull(rr.r, buf); err != nil {
+		rr.releaseBuf()
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return nil, err
 	}
 	rr.records++
-	return rr.buf, nil
+	return buf, nil
+}
+
+// Close returns the reader's pooled buffer to the arena. It is only needed
+// when a reader is abandoned before an error return; it never fails and is
+// safe to call multiple times. Close does not close the underlying source.
+func (rr *RecordReader) Close() error {
+	rr.releaseBuf()
+	return nil
+}
+
+func (rr *RecordReader) releaseBuf() {
+	if rr.arena != nil {
+		rr.arena.Release()
+		rr.arena = nil
+	}
 }
 
 // Records returns the number of records read.

@@ -124,6 +124,18 @@ func parseHeader(src []byte) (header, error) {
 	return h, nil
 }
 
+// maxFrameSize bounds the encoded size of one frame for an n-byte block:
+// header plus raw length plus slack for the worst-case pre-fallback
+// expansion of the heaviest codec (the range coder peaks near 9 bits per
+// byte on adversarial input before the stored-raw fallback trims the frame
+// back to header + raw). Sizing scratch buffers to this bound keeps the
+// steady-state encode path free of append regrowth; the bound also pairs
+// with the block arena's 160 KB class, which holds a maxFrameSize frame
+// for the default 128 KB block.
+func maxFrameSize(n int) int {
+	return headerSize + n + n/8 + 64
+}
+
 // encodeFrame compresses block with the given ladder level and appends one
 // complete frame (header + payload) to dst. If the codec fails to shrink
 // the block, the block is stored raw under the identity codec so a frame
@@ -152,49 +164,45 @@ func encodeFrame(dst []byte, ladder compress.Ladder, level int, block []byte) (o
 
 // writeFrame encodes one frame into scratch and writes it to w. It returns
 // the number of payload (compressed) bytes written, the codec ID actually
-// used, and any I/O error.
-func writeFrame(w io.Writer, ladder compress.Ladder, level int, block, scratch []byte) (payload int, codecID uint8, err error) {
+// used, the (possibly grown) scratch holding the encoded frame — callers
+// keep it so a rare mid-stream growth is paid once, not per frame — and
+// any I/O error.
+func writeFrame(w io.Writer, ladder compress.Ladder, level int, block, scratch []byte) (payload int, codecID uint8, scratchOut []byte, err error) {
 	frame, codecID := encodeFrame(scratch[:0], ladder, level, block)
 	if err := writeFull(w, frame); err != nil {
-		return 0, codecID, err
+		return 0, codecID, frame, err
 	}
-	return len(frame) - headerSize, codecID, nil
+	return len(frame) - headerSize, codecID, frame, nil
 }
 
-// readFrame reads and verifies one frame from r, appending the decompressed
-// block to dst. payloadBuf is a reusable scratch buffer returned (possibly
-// grown) for the next call. It returns io.EOF at a clean end of stream and a
-// framing error if the stream ends inside a frame.
-func readFrame(r io.Reader, dst, payloadBuf []byte) (out, scratch []byte, rawLen int, err error) {
-	var hdr [headerSize]byte
+// readFrameHeader reads and parses one frame header from r into hdr. It
+// returns io.EOF at a clean end of stream (no header byte read) and a
+// framing error if the stream ends inside the header.
+func readFrameHeader(r io.Reader, hdr *[headerSize]byte) (header, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return dst, payloadBuf, 0, io.EOF
+			return header{}, io.EOF
 		}
-		return dst, payloadBuf, 0, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
+		return header{}, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
 	}
-	h, err := parseHeader(hdr[:])
-	if err != nil {
-		return dst, payloadBuf, 0, err
-	}
-	if cap(payloadBuf) < h.compLen {
-		payloadBuf = make([]byte, h.compLen)
-	}
-	payloadBuf = payloadBuf[:h.compLen]
-	if _, err := io.ReadFull(r, payloadBuf); err != nil {
-		return dst, payloadBuf, 0, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
-	}
+	return parseHeader(hdr[:])
+}
+
+// decodeFramePayload decompresses and CRC-verifies one frame payload,
+// appending the raw block to dst. On error dst is returned truncated to its
+// original length: no bytes of a bad frame are ever delivered.
+func decodeFramePayload(dst []byte, h header, payload []byte) ([]byte, error) {
 	codec, err := compress.ByID(h.codecID)
 	if err != nil {
-		return dst, payloadBuf, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		return dst, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	start := len(dst)
-	dst, err = codec.Decompress(dst, payloadBuf, h.rawLen)
+	dst, err = codec.Decompress(dst, payload, h.rawLen)
 	if err != nil {
-		return dst[:start], payloadBuf, 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		return dst[:start], fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	if got := crc32.Checksum(dst[start:], crcTable); got != h.crc {
-		return dst[:start], payloadBuf, 0, fmt.Errorf("%w: CRC mismatch (got %08x, want %08x)", ErrBadFrame, got, h.crc)
+		return dst[:start], fmt.Errorf("%w: CRC mismatch (got %08x, want %08x)", ErrBadFrame, got, h.crc)
 	}
-	return dst, payloadBuf, h.rawLen, nil
+	return dst, nil
 }

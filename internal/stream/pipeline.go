@@ -3,6 +3,7 @@ package stream
 import (
 	"sync"
 
+	"adaptio/internal/block"
 	"adaptio/internal/compress"
 )
 
@@ -12,6 +13,12 @@ import (
 // the stream layer's CPU cost, so on multicore senders the pool multiplies
 // throughput without changing the wire format (frames remain strictly
 // ordered and self-contained).
+//
+// Buffer lifecycle: submit transfers ownership of the block's arena buffer
+// to the pipeline. A worker releases it right after encoding the frame into
+// a fresh arena buffer, which the flusher releases after the frame reaches
+// the underlying writer. stop drains everything in flight, so by the time
+// stop returns no pipeline-owned buffer is outstanding.
 type pipeline struct {
 	ladder compress.Ladder
 	dst    writeSink
@@ -39,11 +46,11 @@ type writeSink interface {
 type compressJob struct {
 	seq   uint64
 	level int
-	block []byte
+	block *block.Buf // owned by the pipeline once submitted
 }
 
 type encodedFrame struct {
-	frame   []byte
+	frame   *block.Buf // released by the flusher after the write
 	rawLen  int
 	level   int
 	codecID uint8
@@ -69,9 +76,13 @@ func newPipeline(ladder compress.Ladder, dst writeSink, workers int) *pipeline {
 func (p *pipeline) worker() {
 	defer p.workerWG.Done()
 	for job := range p.jobs {
-		frame, codecID := encodeFrame(nil, p.ladder, job.level, job.block)
+		rawLen := len(job.block.B)
+		fbuf := block.Get(maxFrameSize(rawLen))
+		frame, codecID := encodeFrame(fbuf.B[:0], p.ladder, job.level, job.block.B)
+		fbuf.B = frame
+		job.block.Release()
 		p.mu.Lock()
-		p.done[job.seq] = encodedFrame{frame: frame, rawLen: len(job.block), level: job.level, codecID: codecID}
+		p.done[job.seq] = encodedFrame{frame: fbuf, rawLen: rawLen, level: job.level, codecID: codecID}
 		p.cond.Broadcast()
 		p.mu.Unlock()
 	}
@@ -97,6 +108,7 @@ func (p *pipeline) flusher() {
 		p.mu.Unlock()
 
 		err := p.dst.writeEncodedFrame(f)
+		f.frame.Release()
 
 		p.mu.Lock()
 		p.nextWrite++
@@ -108,9 +120,10 @@ func (p *pipeline) flusher() {
 	}
 }
 
-// submit enqueues one block (which the pipeline takes ownership of) at the
-// given level. It returns any asynchronous write error observed so far.
-func (p *pipeline) submit(block []byte, level int) error {
+// submit enqueues one block (whose arena buffer the pipeline takes
+// ownership of) at the given level. It returns any asynchronous write
+// error observed so far.
+func (p *pipeline) submit(blk *block.Buf, level int) error {
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
@@ -120,7 +133,7 @@ func (p *pipeline) submit(block []byte, level int) error {
 	p.nextSub++
 	err := p.err
 	p.mu.Unlock()
-	p.jobs <- compressJob{seq: seq, level: level, block: block}
+	p.jobs <- compressJob{seq: seq, level: level, block: blk}
 	return err
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"adaptio/internal/block/blocktest"
 	"adaptio/internal/corpus"
 	"adaptio/internal/faultio/leakcheck"
 	"adaptio/internal/vclock"
@@ -14,6 +15,7 @@ import (
 
 func TestParallelRoundTripAllKinds(t *testing.T) {
 	leakcheck.Check(t)
+	blocktest.Track(t) // pipeline workers and flusher must release every buffer
 	for _, workers := range []int{2, 4, 8} {
 		for _, kind := range corpus.Kinds() {
 			src := corpus.Generate(kind, 600<<10, 3)

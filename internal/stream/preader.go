@@ -3,11 +3,10 @@ package stream
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"sync"
 
-	"adaptio/internal/compress"
+	"adaptio/internal/block"
 )
 
 // ParallelReader decompresses a frame stream on a worker pool while
@@ -23,12 +22,21 @@ import (
 // bad frame surfaces as a sticky *FrameError (frame index + wire offset,
 // wrapping ErrBadFrame), no corrupt bytes are delivered, allocation stays
 // bounded by MaxBlockSize, and no goroutine outlives EOF, error, or Close.
+//
+// Buffer lifecycle (see internal/block and docs/performance.md): raw
+// frames and decoded blocks ride pooled arena buffers. Ownership flows
+// demultiplexer -> worker -> reorderer -> Read; each stage releases what it
+// consumes, discarded frames are released by whichever stage drops them,
+// and Close drains and releases everything still in flight. Reading to EOF
+// or Closing therefore returns the pool to its idle state — the leak
+// trackers in the test suite assert this.
 type ParallelReader struct {
-	out     chan pframe
-	cur     []byte
-	err     error
-	closeCh chan struct{}
-	once    sync.Once
+	out      chan pframe
+	cur      []byte
+	curArena *block.Buf // backing of cur; released once fully delivered
+	err      error
+	closeCh  chan struct{}
+	once     sync.Once
 
 	rawBytes  int64
 	wireBytes int64
@@ -37,10 +45,18 @@ type ParallelReader struct {
 
 type pframe struct {
 	seq  uint64
-	data []byte
+	data *block.Buf // nil on error frames
 	err  error
 	wire int64
 	off  int64 // wire offset of the frame's first header byte
+}
+
+// release drops the frame's buffer, if any. Safe on error frames.
+func (f *pframe) release() {
+	if f.data != nil {
+		f.data.Release()
+		f.data = nil
+	}
 }
 
 // NewParallelReader creates a reader over src with the given worker count
@@ -62,31 +78,38 @@ func NewParallelReader(src io.Reader, workers int) (*ParallelReader, error) {
 	var wg sync.WaitGroup
 	go func() {
 		defer close(jobs)
+		var hdr [headerSize]byte
 		var seq uint64
 		var off int64 // wire offset of the frame about to be read
 		for {
-			raw, _, err := readRawFrame(src)
+			raw, err := readRawFrame(src, &hdr)
 			if err == io.EOF {
 				return
 			}
 			if err != nil {
 				err = &FrameError{Frame: int64(seq), Offset: off, Err: err}
 			}
-			job := pframe{seq: seq, data: raw, err: err, wire: int64(len(raw)), off: off}
+			job := pframe{seq: seq, data: raw, err: err}
+			if raw != nil {
+				job.wire = int64(len(raw.B))
+			}
+			job.off = off
 			select {
 			case jobs <- job:
 			case <-r.closeCh:
+				job.release()
 				return
 			}
 			if err != nil {
 				return
 			}
 			seq++
-			off += int64(len(raw))
+			off += job.wire
 		}
 	}()
 
-	// Workers: decompress and verify.
+	// Workers: decompress and verify. The raw frame buffer is released
+	// here; the decoded block buffer travels onward.
 	results := make(chan pframe, workers*2)
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -97,11 +120,12 @@ func NewParallelReader(src io.Reader, workers int) (*ParallelReader, error) {
 					results <- job
 					continue
 				}
-				block, err := decodeRawFrame(job.data)
+				blk, err := decodeRawFrame(job.data)
+				job.release()
 				if err != nil {
 					err = &FrameError{Frame: int64(job.seq), Offset: job.off, Err: err}
 				}
-				results <- pframe{seq: job.seq, data: block, err: err, wire: job.wire, off: job.off}
+				results <- pframe{seq: job.seq, data: blk, err: err, wire: job.wire, off: job.off}
 			}
 		}()
 	}
@@ -111,15 +135,22 @@ func NewParallelReader(src io.Reader, workers int) (*ParallelReader, error) {
 	}()
 
 	// Reorderer: deliver frames in sequence order. After an error or a
-	// Close it keeps draining the results channel so the workers never
-	// block on a full channel (that would leak them).
+	// Close it keeps draining the results channel — releasing the dropped
+	// frames — so the workers never block on a full channel (that would
+	// leak them).
 	go func() {
 		defer close(r.out)
 		pending := map[uint64]pframe{}
+		defer func() {
+			for _, f := range pending {
+				f.release()
+			}
+		}()
 		var next uint64
 		dead := false
 		for f := range results {
 			if dead {
+				f.release()
 				continue
 			}
 			pending[f.seq] = f
@@ -135,6 +166,7 @@ func NewParallelReader(src io.Reader, workers int) (*ParallelReader, error) {
 						dead = true
 					}
 				case <-r.closeCh:
+					nf.release()
 					dead = true
 				}
 				next++
@@ -144,46 +176,37 @@ func NewParallelReader(src io.Reader, workers int) (*ParallelReader, error) {
 	return r, nil
 }
 
-// readRawFrame reads one frame's header and payload without decoding. The
-// returned slice holds header+payload.
-func readRawFrame(src io.Reader) ([]byte, header, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(src, hdr[:]); err != nil {
-		if err == io.EOF {
-			return nil, header{}, io.EOF
-		}
-		return nil, header{}, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
-	}
-	h, err := parseHeader(hdr[:])
-	if err != nil {
-		return nil, header{}, err
-	}
-	raw := make([]byte, headerSize+h.compLen)
-	copy(raw, hdr[:])
-	if _, err := io.ReadFull(src, raw[headerSize:]); err != nil {
-		return nil, header{}, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
-	}
-	return raw, h, nil
-}
-
-// decodeRawFrame decompresses and verifies one raw frame.
-func decodeRawFrame(raw []byte) ([]byte, error) {
-	h, err := parseHeader(raw)
+// readRawFrame reads one frame's header and payload without decoding into
+// a pooled buffer holding header+payload, which the caller owns.
+func readRawFrame(src io.Reader, hdr *[headerSize]byte) (*block.Buf, error) {
+	h, err := readFrameHeader(src, hdr)
 	if err != nil {
 		return nil, err
 	}
-	codec, err := compress.ByID(h.codecID)
+	raw := block.GetLen(headerSize + h.compLen)
+	copy(raw.B, hdr[:])
+	if _, err := io.ReadFull(src, raw.B[headerSize:]); err != nil {
+		raw.Release()
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	return raw, nil
+}
+
+// decodeRawFrame decompresses and verifies one raw frame into a fresh
+// pooled buffer. On error no buffer is retained.
+func decodeRawFrame(raw *block.Buf) (*block.Buf, error) {
+	h, err := parseHeader(raw.B)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		return nil, err
 	}
-	block, err := codec.Decompress(nil, raw[headerSize:], h.rawLen)
+	out := block.Get(h.rawLen)
+	dst, err := decodeFramePayload(out.B[:0], h, raw.B[headerSize:])
+	out.B = dst
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		out.Release()
+		return nil, err
 	}
-	if got := crc32.Checksum(block, crcTable); got != h.crc {
-		return nil, fmt.Errorf("%w: CRC mismatch (got %08x, want %08x)", ErrBadFrame, got, h.crc)
-	}
-	return block, nil
+	return out, nil
 }
 
 // Read implements io.Reader.
@@ -201,14 +224,32 @@ func (r *ParallelReader) Read(p []byte) (int, error) {
 			r.err = f.err
 			return 0, f.err
 		}
-		r.cur = f.data
-		r.rawBytes += int64(len(f.data))
+		r.setCur(f.data)
+		r.rawBytes += int64(len(f.data.B))
 		r.wireBytes += f.wire
 		r.blocks++
 	}
 	n := copy(p, r.cur)
 	r.cur = r.cur[n:]
+	if len(r.cur) == 0 {
+		r.setCur(nil)
+	}
 	return n, nil
+}
+
+// setCur installs the next block buffer as the delivery cursor, releasing
+// the previous one (also handles empty blocks, which are skipped by the
+// Read loop).
+func (r *ParallelReader) setCur(b *block.Buf) {
+	if r.curArena != nil {
+		r.curArena.Release()
+	}
+	r.curArena = b
+	if b != nil {
+		r.cur = b.B
+	} else {
+		r.cur = nil
+	}
 }
 
 // Counters returns application bytes delivered, wire bytes consumed and
@@ -217,9 +258,22 @@ func (r *ParallelReader) Counters() (rawBytes, wireBytes, blocks int64) {
 	return r.rawBytes, r.wireBytes, r.blocks
 }
 
-// Close releases the worker goroutines. It is safe to call multiple times
-// and after EOF.
+// Close releases the worker goroutines and returns every in-flight pooled
+// buffer to the arena. It is safe to call multiple times and after EOF,
+// but must not be called concurrently with Read.
 func (r *ParallelReader) Close() error {
-	r.once.Do(func() { close(r.closeCh) })
+	r.once.Do(func() {
+		close(r.closeCh)
+		// Drain undelivered frames. The pipeline unwinds promptly once
+		// closeCh is closed, so this terminates: the reorderer observes
+		// closeCh (or the closed results channel) and closes r.out.
+		for f := range r.out {
+			f.release()
+		}
+		r.setCur(nil)
+		if r.err == nil {
+			r.err = errReaderClosed
+		}
+	})
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"testing"
 
+	"adaptio/internal/block/blocktest"
 	"adaptio/internal/corpus"
 	"adaptio/internal/faultio/leakcheck"
 )
@@ -26,6 +27,7 @@ func buildStream(t *testing.T, kind corpus.Kind, size, level, blockSize int) ([]
 
 func TestParallelReaderRoundTrip(t *testing.T) {
 	leakcheck.Check(t)
+	blocktest.Track(t)
 	for _, workers := range []int{1, 2, 8} {
 		for _, kind := range corpus.Kinds() {
 			src, wire := buildStream(t, kind, 500<<10, LevelLight, 16<<10)
@@ -51,6 +53,7 @@ func TestParallelReaderRoundTrip(t *testing.T) {
 
 func TestParallelReaderMixedLevels(t *testing.T) {
 	leakcheck.Check(t)
+	blocktest.Track(t)
 	// A stream produced by the parallel writer probing across levels must
 	// decode identically on the parallel reader.
 	src := corpus.Generate(corpus.High, 1<<20, 3)
@@ -75,6 +78,7 @@ func TestParallelReaderMixedLevels(t *testing.T) {
 
 func TestParallelReaderDetectsCorruption(t *testing.T) {
 	leakcheck.Check(t)
+	blocktest.Track(t)
 	_, wire := buildStream(t, corpus.Moderate, 200<<10, LevelLight, 8<<10)
 	bad := append([]byte(nil), wire...)
 	bad[len(bad)/2] ^= 0xFF
@@ -90,6 +94,7 @@ func TestParallelReaderDetectsCorruption(t *testing.T) {
 
 func TestParallelReaderTruncation(t *testing.T) {
 	leakcheck.Check(t)
+	blocktest.Track(t)
 	_, wire := buildStream(t, corpus.Moderate, 100<<10, LevelLight, 8<<10)
 	r, err := NewParallelReader(bytes.NewReader(wire[:len(wire)-3]), 2)
 	if err != nil {
@@ -103,6 +108,7 @@ func TestParallelReaderTruncation(t *testing.T) {
 
 func TestParallelReaderEarlyClose(t *testing.T) {
 	leakcheck.Check(t)
+	blocktest.Track(t)
 	_, wire := buildStream(t, corpus.Moderate, 400<<10, LevelLight, 8<<10)
 	r, err := NewParallelReader(bytes.NewReader(wire), 4)
 	if err != nil {
@@ -120,6 +126,7 @@ func TestParallelReaderEarlyClose(t *testing.T) {
 
 func TestParallelReaderEmptyAndErrors(t *testing.T) {
 	leakcheck.Check(t)
+	blocktest.Track(t)
 	if _, err := NewParallelReader(nil, 2); err == nil {
 		t.Fatal("nil source accepted")
 	}

@@ -2,8 +2,15 @@ package stream
 
 import (
 	"errors"
+	"fmt"
 	"io"
+
+	"adaptio/internal/block"
 )
+
+// errReaderClosed is the sticky error installed by Close on a reader
+// abandoned before end of stream.
+var errReaderClosed = errors.New("stream: reader closed")
 
 // Reader decompresses a stream of frames produced by Writer. It is
 // completely stateless across blocks — every frame carries its codec ID —
@@ -19,13 +26,22 @@ import (
 // delivery), allocation is bounded by MaxBlockSize however hostile the
 // header, and a Reader never panics on any input.
 //
+// Buffer lifecycle (see internal/block and docs/performance.md): the block
+// and payload buffers come from the block arena and are recycled
+// automatically when the stream ends — clean EOF or any sticky error
+// releases them. A Reader abandoned before end of stream should be Closed
+// to return its buffers to the arena; failing to do so is not a memory
+// leak (the GC reclaims them), it just bypasses the pool.
+//
 // Reader is not safe for concurrent use.
 type Reader struct {
 	src     io.Reader
-	block   []byte // decompressed bytes not yet delivered
+	hdr     [headerSize]byte // header scratch, reused every frame
+	arena   *block.Buf       // backing for block
+	payload *block.Buf       // frame payload scratch
+	blk     []byte           // decompressed bytes not yet delivered
 	off     int
-	payload []byte // frame payload scratch
-	err     error  // sticky error (including io.EOF)
+	err     error // sticky error (including io.EOF)
 
 	// RawBytes and WireBytes count decompressed and on-the-wire bytes
 	// delivered so far.
@@ -44,7 +60,7 @@ func NewReader(src io.Reader) (*Reader, error) {
 
 // Read implements io.Reader, delivering the original application bytes.
 func (r *Reader) Read(p []byte) (int, error) {
-	for r.off == len(r.block) {
+	for r.off == len(r.blk) {
 		if r.err != nil {
 			return 0, r.err
 		}
@@ -53,16 +69,47 @@ func (r *Reader) Read(p []byte) (int, error) {
 			return 0, err
 		}
 	}
-	n := copy(p, r.block[r.off:])
+	n := copy(p, r.blk[r.off:])
 	r.off += n
 	return n, nil
 }
 
-// fill reads the next frame into r.block.
+// Close releases the reader's pooled buffers back to the arena and makes
+// further Reads fail. It never fails and is safe to call multiple times,
+// also after EOF (buffers are already recycled by then). Close does not
+// close the underlying source.
+func (r *Reader) Close() error {
+	r.releaseBufs()
+	if r.err == nil {
+		r.err = errReaderClosed
+	}
+	return nil
+}
+
+// releaseBufs returns the pooled buffers to the arena. Called exactly once
+// per buffer: either when the stream terminates (EOF or sticky error) or
+// from Close.
+func (r *Reader) releaseBufs() {
+	if r.arena != nil {
+		r.arena.Release()
+		r.arena = nil
+	}
+	if r.payload != nil {
+		r.payload.Release()
+		r.payload = nil
+	}
+	r.blk = nil
+	r.off = 0
+}
+
+// fill reads the next frame into r.blk. On any terminal condition (clean
+// EOF or framing error) the pooled buffers go back to the arena before the
+// error is returned; fill is only called when the previous block has been
+// fully delivered, so no live bytes are recycled.
 func (r *Reader) fill() error {
-	block, scratch, rawLen, err := readFrame(r.src, r.block[:0], r.payload)
-	r.payload = scratch
+	h, err := readFrameHeader(r.src, &r.hdr)
 	if err != nil {
+		r.releaseBufs()
 		if err == io.EOF {
 			return err
 		}
@@ -70,10 +117,34 @@ func (r *Reader) fill() error {
 		// which is exactly the offset of the frame that just failed.
 		return &FrameError{Frame: r.blocks, Offset: r.wireBytes, Err: err}
 	}
-	r.block = block
+	if r.payload == nil {
+		r.payload = block.Get(h.compLen)
+	} else if r.payload.Cap() < h.compLen {
+		r.payload.Release()
+		r.payload = block.Get(h.compLen)
+	}
+	payload := r.payload.B[:h.compLen]
+	if _, err := io.ReadFull(r.src, payload); err != nil {
+		r.releaseBufs()
+		err = fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+		return &FrameError{Frame: r.blocks, Offset: r.wireBytes, Err: err}
+	}
+	if r.arena == nil {
+		r.arena = block.Get(h.rawLen)
+	} else if r.arena.Cap() < h.rawLen {
+		r.arena.Release()
+		r.arena = block.Get(h.rawLen)
+	}
+	dst, err := decodeFramePayload(r.arena.B[:0], h, payload)
+	r.arena.B = dst // keep any growth with the pooled buffer
+	if err != nil {
+		r.releaseBufs()
+		return &FrameError{Frame: r.blocks, Offset: r.wireBytes, Err: err}
+	}
+	r.blk = dst
 	r.off = 0
-	r.rawBytes += int64(rawLen)
-	r.wireBytes += int64(headerSize + len(scratch))
+	r.rawBytes += int64(h.rawLen)
+	r.wireBytes += int64(headerSize + h.compLen)
 	r.blocks++
 	return nil
 }
@@ -90,8 +161,8 @@ func (r *Reader) Counters() (rawBytes, wireBytes, blocks int64) {
 func (r *Reader) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for {
-		if r.off < len(r.block) {
-			n, err := w.Write(r.block[r.off:])
+		if r.off < len(r.blk) {
+			n, err := w.Write(r.blk[r.off:])
 			total += int64(n)
 			r.off += n
 			if err != nil {

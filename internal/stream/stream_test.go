@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"adaptio/internal/block/blocktest"
 	"adaptio/internal/compress"
 	"adaptio/internal/corpus"
 	"adaptio/internal/vclock"
@@ -58,6 +59,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestStaticRoundTripAllLevels(t *testing.T) {
+	blocktest.Track(t) // every arena buffer must be back by test end
 	for lvl := 0; lvl < 4; lvl++ {
 		for _, kind := range corpus.Kinds() {
 			src := corpus.Generate(kind, 300<<10, 5) // spans multiple blocks

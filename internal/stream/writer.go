@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptio/internal/block"
 	"adaptio/internal/compress"
 	"adaptio/internal/core"
 	"adaptio/internal/vclock"
@@ -98,9 +99,16 @@ type Writer struct {
 	clock  vclock.Clock
 	dec    *core.Decider // nil in static mode
 
-	buf     []byte    // pending application bytes, cap = BlockSize
-	scratch []byte    // compression scratch
-	pipe    *pipeline // non-nil when Parallelism > 1
+	// bufArena backs buf; scratchArena backs scratch (serial mode only —
+	// pipeline workers pool their own frame buffers). Both come from the
+	// block arena and return to it in Close. In parallel mode bufArena is
+	// handed off whole to the pipeline on every cut block (zero copy) and
+	// a fresh arena buffer takes its place.
+	bufArena     *block.Buf
+	scratchArena *block.Buf
+	buf          []byte    // pending application bytes, cap = BlockSize
+	scratch      []byte    // compression scratch
+	pipe         *pipeline // non-nil when Parallelism > 1
 
 	level       int
 	windowStart time.Time
@@ -147,12 +155,10 @@ func NewWriter(dst io.Writer, cfg WriterConfig) (*Writer, error) {
 	}
 
 	w := &Writer{
-		dst:     dst,
-		cfg:     cfg,
-		ladder:  cfg.Ladder,
-		clock:   cfg.Clock,
-		buf:     make([]byte, 0, cfg.BlockSize),
-		scratch: make([]byte, 0, cfg.BlockSize+cfg.BlockSize/16+64),
+		dst:    dst,
+		cfg:    cfg,
+		ladder: cfg.Ladder,
+		clock:  cfg.Clock,
 	}
 	w.stats.BlocksPerLevel = make([]int64, len(cfg.Ladder))
 
@@ -173,21 +179,31 @@ func NewWriter(dst io.Writer, cfg WriterConfig) (*Writer, error) {
 		}
 		w.dec = dec
 	}
+
+	// All validation passed: acquire pooled buffers (released in Close).
+	w.bufArena = block.Get(cfg.BlockSize)
+	// Cap buf at exactly BlockSize (the arena class may be larger): the
+	// write loop cuts a block when len(buf) reaches cap(buf).
+	w.buf = w.bufArena.B[:0:cfg.BlockSize]
 	if cfg.Parallelism > 1 {
 		w.pipe = newPipeline(w.ladder, w, cfg.Parallelism)
+	} else {
+		w.scratchArena = block.Get(maxFrameSize(cfg.BlockSize))
+		w.scratch = w.scratchArena.B[:0]
 	}
 	w.windowStart = w.clock.Now()
 	return w, nil
 }
 
 // writeEncodedFrame implements writeSink for the parallel pipeline: it
-// pushes one finished frame downstream and accounts it.
+// pushes one finished frame downstream and accounts it. The frame buffer
+// is owned (and released) by the pipeline's flusher.
 func (w *Writer) writeEncodedFrame(f encodedFrame) error {
-	if err := writeFull(w.dst, f.frame); err != nil {
+	if err := writeFull(w.dst, f.frame.B); err != nil {
 		return err
 	}
 	w.statsMu.Lock()
-	w.accountFrame(int64(len(f.frame)), f.level, f.codecID)
+	w.accountFrame(int64(len(f.frame.B)), f.level, f.codecID)
 	w.statsMu.Unlock()
 	return nil
 }
@@ -268,13 +284,15 @@ func (w *Writer) Flush() error {
 	return nil
 }
 
-// Close flushes buffered data and finalizes the current decision window. It
-// does not close the underlying writer.
+// Close flushes buffered data and finalizes the current decision window.
+// It returns the writer's pooled buffers to the block arena, so a Writer
+// must not be used after Close. It does not close the underlying writer.
 func (w *Writer) Close() error {
 	if w.closed {
 		return w.err
 	}
 	w.closed = true
+	defer w.releaseBufs()
 	if err := w.Flush(); err != nil {
 		if w.pipe != nil {
 			w.pipe.stop()
@@ -291,18 +309,39 @@ func (w *Writer) Close() error {
 	return w.err
 }
 
+// releaseBufs returns the writer's arena buffers. Called exactly once, from
+// Close (the pipeline releases in-flight block buffers itself).
+func (w *Writer) releaseBufs() {
+	if w.bufArena != nil {
+		w.bufArena.Release()
+		w.bufArena = nil
+		w.buf = nil
+	}
+	if w.scratchArena != nil {
+		w.scratchArena.Release()
+		w.scratchArena = nil
+		w.scratch = nil
+	}
+}
+
 func (w *Writer) flushBlock() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
 	if w.pipe != nil {
-		// Hand a copy to the worker pool; the flusher accounts the
-		// frame when it reaches the wire.
-		block := append([]byte(nil), w.buf...)
-		w.buf = w.buf[:0]
-		return w.pipe.submit(block, w.level)
+		// Hand the full arena buffer to the worker pool (zero copy;
+		// the pipeline releases it once the frame is encoded) and
+		// take a fresh one. The flusher accounts the frame when it
+		// reaches the wire.
+		full := w.bufArena
+		full.B = w.buf
+		w.bufArena = block.Get(w.cfg.BlockSize)
+		w.buf = w.bufArena.B[:0:w.cfg.BlockSize]
+		return w.pipe.submit(full, w.level)
 	}
-	payload, codecID, err := writeFrame(w.dst, w.ladder, w.level, w.buf, w.scratch)
+	payload, codecID, scratch, err := writeFrame(w.dst, w.ladder, w.level, w.buf, w.scratch)
+	w.scratch = scratch[:0]
+	w.scratchArena.B = scratch // keep any growth with the pooled buffer
 	if err != nil {
 		return err
 	}

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptio/internal/block"
 	"adaptio/internal/stream"
 	"adaptio/internal/xrand"
 )
@@ -358,7 +359,12 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 			errs <- err
 			return
 		}
-		_, cpErr := io.Copy(w, plainRW)
+		// Pooled copy buffer (see internal/block): onlyReader hides any
+		// WriteTo on the conn so CopyBuffer actually uses it instead of
+		// allocating its own per connection.
+		cbuf := block.GetLen(64 << 10)
+		_, cpErr := io.CopyBuffer(w, onlyReader{plainRW}, cbuf.B)
+		cbuf.Release()
 		if closeErr := w.Close(); cpErr == nil {
 			cpErr = closeErr
 		}
@@ -383,7 +389,10 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 			errs <- err
 			return
 		}
+		// io.Copy uses r's WriteTo: blocks flow straight from the reader's
+		// pooled arena buffer to the plain conn, no copy buffer at all.
 		_, cpErr := io.Copy(plainRW, r)
+		r.Close() // recycle the arena buffers if the plain side failed first
 		if okP {
 			plainTCP.CloseWrite()
 		}
@@ -403,6 +412,12 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 		return nil
 	}
 }
+
+// onlyReader restricts a net.Conn to its Read method so io.CopyBuffer
+// cannot discover a WriteTo fast path and skip the caller's pooled buffer.
+type onlyReader struct{ r io.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
 
 // isBenignNetErr filters the errors every TCP relay sees at teardown. Idle
 // timeouts and framing errors are not benign: they indicate a stalled peer

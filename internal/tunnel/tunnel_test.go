@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"adaptio/internal/block/blocktest"
 	"adaptio/internal/corpus"
 	"adaptio/internal/faultio/leakcheck"
 	"adaptio/internal/tunnel"
@@ -81,6 +82,7 @@ func (c *statsCollector) snapshot() []tunnel.ConnStats {
 
 func TestTunnelEchoRoundTrip(t *testing.T) {
 	leakcheck.Check(t)
+	blocktest.Track(t) // relay copy buffers and stream arenas must be released
 	addr, collector := startTunnel(t, tunnel.Config{Window: 30 * time.Millisecond})
 	payload := corpus.Generate(corpus.High, 4<<20, 1)
 
