@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short bench bench-alloc alloc-gate repro claims fuzz fuzz-smoke chaos cover clean
+.PHONY: all build test test-race test-short test-shape test-obs bench bench-alloc alloc-gate repro claims fuzz fuzz-smoke chaos cover clean
 
 all: build test
 
@@ -18,6 +18,19 @@ test-race:
 
 test-short:
 	$(GO) test -short ./...
+
+# Shape-fidelity regression suite: the paper's qualitative claims encoded as
+# deterministic seeded assertions, including the revert-disabled sentinel.
+test-shape:
+	$(GO) test -run 'TestShape' -count=1 -v ./internal/experiments/
+
+# The observability layer's gates: unit semantics, race hammer with exact
+# counts, zero-allocation hot path, and the snapshot/render golden files.
+test-obs:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -run 'TestHotPathAllocationFree' -count=1 ./internal/obs/
+	$(GO) test -run 'Golden|TestStatsDerivedFromMetrics' -count=1 ./internal/obs/ ./internal/nephele/
+	$(GO) test -run 'TestDecisionLogShowsBackoffAfterRevert|TestWriterObsCounters' -count=1 ./internal/stream/
 
 # One iteration of every paper table/figure benchmark with rendered output.
 bench:

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	acrecv [-listen host:port] [-once]
+//	acrecv [-listen host:port] [-once] [-metrics-addr host:port]
 package main
 
 import (
@@ -17,14 +17,44 @@ import (
 	"time"
 
 	"adaptio"
+	"adaptio/internal/block"
+	"adaptio/internal/obs"
 )
+
+// readerObs accumulates decode-side totals across connections for the
+// -metrics-addr snapshot ("stream.reader.*").
+type readerObs struct {
+	appBytes  *obs.Counter
+	wireBytes *obs.Counter
+	blocks    *obs.Counter
+	conns     *obs.Counter
+}
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:9911", "listen address")
-		once   = flag.Bool("once", false, "exit after one connection")
+		listen      = flag.String("listen", "127.0.0.1:9911", "listen address")
+		once        = flag.Bool("once", false, "exit after one connection")
+		metricsAddr = flag.String("metrics-addr", "", "serve the JSON metrics snapshot over HTTP on this address (empty = off)")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	block.PublishMetrics(reg.Scope("block"))
+	rs := reg.Scope("stream").Scope("reader")
+	ro := &readerObs{
+		appBytes:  rs.Counter("app_bytes"),
+		wireBytes: rs.Counter("wire_bytes"),
+		blocks:    rs.Counter("blocks"),
+		conns:     rs.Counter("conns"),
+	}
+	if *metricsAddr != "" {
+		reg.PublishExpvar("adaptio")
+		go func() {
+			if err := obs.ListenAndServe(*metricsAddr, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "acrecv: metrics server: %v\n", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -36,15 +66,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		handle(conn)
+		handle(conn, ro)
 		if *once {
 			return
 		}
 	}
 }
 
-func handle(conn net.Conn) {
+func handle(conn net.Conn, ro *readerObs) {
 	defer conn.Close()
+	ro.conns.Inc()
 	r, err := adaptio.NewReader(conn)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acrecv: %v\n", err)
@@ -53,11 +84,14 @@ func handle(conn net.Conn) {
 	start := time.Now()
 	n, err := io.Copy(io.Discard, r)
 	elapsed := time.Since(start)
+	raw, wire, blocks := r.Counters()
+	ro.appBytes.Add(raw)
+	ro.wireBytes.Add(wire)
+	ro.blocks.Add(blocks)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acrecv: stream error after %d bytes: %v\n", n, err)
 		return
 	}
-	raw, wire, blocks := r.Counters()
 	fmt.Printf("received %.2f GB app / %.2f GB wire in %.1f s (%.1f MB/s app, %d blocks)\n",
 		float64(raw)/1e9, float64(wire)/1e9, elapsed.Seconds(), float64(n)/1e6/elapsed.Seconds(), blocks)
 }

@@ -23,7 +23,9 @@ import (
 	"time"
 
 	"adaptio"
+	"adaptio/internal/block"
 	"adaptio/internal/corpus"
+	"adaptio/internal/obs"
 )
 
 func main() {
@@ -35,8 +37,21 @@ func main() {
 		window = flag.Duration("window", 2*time.Second, "decision window t")
 		alpha  = flag.Float64("alpha", adaptio.DefaultAlpha, "tolerance band alpha")
 		verb   = flag.Bool("v", false, "log every decision window")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve the JSON metrics snapshot over HTTP on this address (empty = off)")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	block.PublishMetrics(reg.Scope("block"))
+	if *metricsAddr != "" {
+		reg.PublishExpvar("adaptio")
+		go func() {
+			if err := obs.ListenAndServe(*metricsAddr, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "acsend: metrics server: %v\n", err)
+			}
+		}()
+	}
 
 	src, err := dataSource(*kind)
 	if err != nil {
@@ -48,7 +63,11 @@ func main() {
 	}
 	defer conn.Close()
 
-	cfg := adaptio.WriterConfig{Window: *window, Alpha: *alpha}
+	cfg := adaptio.WriterConfig{
+		Window: *window,
+		Alpha:  *alpha,
+		Obs:    reg.Scope("stream").Scope("writer"),
+	}
 	if *static != adaptio.Adaptive {
 		cfg.Static = true
 		cfg.StaticLevel = *static

@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"adaptio"
+	"adaptio/internal/block"
+	"adaptio/internal/obs"
 	"adaptio/internal/tunnel"
 )
 
@@ -41,6 +43,7 @@ func main() {
 		dialRetries = flag.Int("dial-retries", 0, "extra dial attempts after the first fails, with exponential backoff")
 		dialBackoff = flag.Duration("dial-backoff", tunnel.DefaultDialBackoff, "base backoff between dial attempts")
 		grace       = flag.Duration("grace", 0, "drain time granted to active connections on shutdown (0 = close immediately)")
+		metricsAddr = flag.String("metrics-addr", "", "serve the JSON metrics snapshot over HTTP on this address (empty = off)")
 	)
 	flag.Parse()
 	if *listen == "" || *target == "" || (*mode != "entry" && *mode != "exit") {
@@ -48,6 +51,8 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := obs.NewRegistry()
+	block.PublishMetrics(reg.Scope("block"))
 	cfg := tunnel.Config{
 		Window:        *window,
 		Alpha:         *alpha,
@@ -56,6 +61,15 @@ func main() {
 		DialRetries:   *dialRetries,
 		DialBackoff:   *dialBackoff,
 		ShutdownGrace: *grace,
+		Obs:           reg.Scope("tunnel"),
+	}
+	if *metricsAddr != "" {
+		reg.PublishExpvar("adaptio")
+		go func() {
+			if err := obs.ListenAndServe(*metricsAddr, reg); err != nil {
+				log.Printf("actunnel: metrics server: %v", err)
+			}
+		}()
 	}
 	if *static != adaptio.Adaptive {
 		cfg.Static = true

@@ -20,8 +20,10 @@ import (
 	"os"
 	"path/filepath"
 
+	"adaptio/internal/block"
 	"adaptio/internal/cloudsim"
 	"adaptio/internal/experiments"
+	"adaptio/internal/obs"
 )
 
 func main() {
@@ -43,6 +45,13 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write each experiment's raw data as CSV into this directory")
 	)
 	flag.Parse()
+
+	// Process-wide metrics: the experiments run in-process, so the buffer
+	// arena's counters summarize the run's data-plane churn. Printed at the
+	// end of the run.
+	reg := obs.NewRegistry()
+	block.PublishMetrics(reg.Scope("block"))
+	exitCode := 0
 
 	saveCSV := func(name, content string) {
 		if *csvDir == "" {
@@ -194,7 +203,7 @@ func main() {
 		fmt.Print(experiments.RenderClaims(cl))
 		fmt.Println()
 		if !experiments.AllPass(cl) {
-			defer os.Exit(1)
+			exitCode = 1
 		}
 	}
 	if all || *calibrate {
@@ -204,5 +213,11 @@ func main() {
 		}
 		fmt.Print(experiments.RenderCalibration(ms))
 		saveCSV("codec_calibration", experiments.CSVCalibration(ms))
+	}
+
+	fmt.Println("--- end-of-run process metrics ---")
+	fmt.Print(reg.RenderText())
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }

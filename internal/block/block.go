@@ -121,6 +121,7 @@ func Get(n int) *Buf {
 		b.B = b.B[:0]
 	}
 	b.released = false
+	arenaGets.Add(1)
 	trackGet(b)
 	return b
 }
@@ -146,14 +147,17 @@ func (b *Buf) Release() {
 	}
 	b.released = true
 	b.mu.Unlock()
+	arenaReleases.Add(1)
 	trackRelease(b)
 	if b.class == unpooled {
+		arenaDiscards.Add(1)
 		return // dropped; the GC reclaims oversized one-offs
 	}
 	if cap(b.B) < classSizes[b.class] {
 		// The owner swapped in a smaller backing array (e.g. kept a
 		// decompressor's output slice). Pooling it would poison the class
 		// invariant cap(B) >= class size, so drop this Buf instead.
+		arenaDiscards.Add(1)
 		return
 	}
 	b.B = b.B[:0]

@@ -1,0 +1,38 @@
+package block
+
+import (
+	"sync/atomic"
+
+	"adaptio/internal/obs"
+)
+
+// Arena accounting. Plain package-level atomics rather than obs metrics so
+// Get/Release pay one uncontended atomic add each whether or not metrics are
+// published; PublishMetrics exposes them as derived (snapshot-time) values.
+var (
+	arenaGets     atomic.Int64
+	arenaReleases atomic.Int64
+	arenaDiscards atomic.Int64
+)
+
+// Stats reports the arena's lifetime counters: buffers handed out, buffers
+// returned, and returns that were dropped instead of pooled (oversized
+// one-offs and shrunk backing arrays). gets - releases is the number of
+// buffers currently owned by callers.
+func Stats() (gets, releases, discards int64) {
+	return arenaGets.Load(), arenaReleases.Load(), arenaDiscards.Load()
+}
+
+// PublishMetrics registers the arena's counters under scope.arena:
+// gets, puts, discards, and the derived in_use gauge (gets - puts).
+// Call it once per process with the registry's root scope, e.g.
+// block.PublishMetrics(reg.Scope("block")) yields "block.arena.in_use".
+func PublishMetrics(scope *obs.Scope) {
+	a := scope.Scope("arena")
+	a.IntFunc("gets", arenaGets.Load)
+	a.IntFunc("puts", arenaReleases.Load)
+	a.IntFunc("discards", arenaDiscards.Load)
+	a.IntFunc("in_use", func() int64 {
+		return arenaGets.Load() - arenaReleases.Load()
+	})
+}

@@ -64,6 +64,13 @@ type Config struct {
 	// delay the reaction to increased compressibility; capping is the
 	// obvious extension and is exercised by the ablation benches.
 	MaxBackoffExp int
+
+	// DisableRevert turns off the revert-on-degradation rule (Algorithm 1
+	// lines 19-27 keep resetting the backoff, but the level stays put).
+	// This is an ablation knob only: the shape-fidelity test suite flips
+	// it to prove that the paper's headline properties genuinely depend on
+	// the revert rule, not on the simulator.
+	DisableRevert bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -101,7 +108,62 @@ type Decider struct {
 	reverts  int // degradation-triggered reverts
 	rewards  int // backoff increments
 	observed int // total observations
+
+	last Decision // outcome of the most recent Observe
 }
+
+// DecisionKind classifies what one Observe call did.
+type DecisionKind int
+
+const (
+	// DecisionHold: the rate was stable and the backoff has not expired
+	// (or a knob suppressed the move); the level stays.
+	DecisionHold DecisionKind = iota
+	// DecisionProbe: stable rate, backoff expired — optimistic probe to a
+	// neighbouring level.
+	DecisionProbe
+	// DecisionReward: the rate improved; the current level's backoff
+	// exponent was incremented.
+	DecisionReward
+	// DecisionRevert: the rate degraded; the previous change was reverted
+	// and the level's backoff reset.
+	DecisionRevert
+)
+
+// String returns the kind's event-log name.
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionProbe:
+		return "probe"
+	case DecisionReward:
+		return "reward"
+	case DecisionRevert:
+		return "revert"
+	default:
+		return "hold"
+	}
+}
+
+// Decision records the outcome of one Observe call for observability: the
+// stream layer's decision event log (internal/obs) is fed from it, giving
+// probe/revert/backoff transitions external visibility without touching
+// the algorithm itself.
+type Decision struct {
+	// Kind is what happened.
+	Kind DecisionKind
+	// From and To are the levels before and after the call (equal unless
+	// the level changed).
+	From, To int
+	// Rate and PrevRate are cdr and pdr as the algorithm compared them.
+	Rate, PrevRate float64
+	// Backoff is the backoff exponent of the From level after the call —
+	// reset to 0 by a revert, incremented by a reward.
+	Backoff int
+}
+
+// LastDecision returns what the most recent Observe call did. Before the
+// first Observe it is the zero Decision.
+func (d *Decider) LastDecision() Decision { return d.last }
 
 // NewDecider creates a Decider for the given configuration.
 func NewDecider(cfg Config) (*Decider, error) {
@@ -184,7 +246,9 @@ func (d *Decider) Observe(cdr float64) int {
 		d.pdr = cdr
 		d.havePrev = true
 	}
-	ncl, move := d.next(cdr, d.pdr, d.ccl)
+	prev := d.pdr
+	from := d.ccl
+	ncl, move, kind := d.next(cdr, d.pdr, d.ccl)
 	d.pdr = cdr
 
 	// Clamp to the ladder. The paper leaves edge handling implicit; we
@@ -215,6 +279,14 @@ func (d *Decider) Observe(cdr float64) int {
 		d.inc = ncl > d.ccl // inc updated from ccl and the returned ncl
 		d.ccl = ncl
 	}
+	d.last = Decision{
+		Kind:     kind,
+		From:     from,
+		To:       d.ccl,
+		Rate:     cdr,
+		PrevRate: prev,
+		Backoff:  d.bck[from],
+	}
 	return d.ccl
 }
 
@@ -229,12 +301,14 @@ const (
 // next is a literal transcription of Algorithm 1,
 // GetNextCompressionLevel(cdr, pdr, ccl), additionally reporting whether the
 // proposed change is an optimistic probe or a degradation revert so that
-// Observe can resolve ladder-edge clamping correctly.
-func (d *Decider) next(cdr, pdr float64, ccl int) (int, moveKind) {
+// Observe can resolve ladder-edge clamping correctly, plus the DecisionKind
+// for the observability event log.
+func (d *Decider) next(cdr, pdr float64, ccl int) (int, moveKind, DecisionKind) {
 	diff := cdr - pdr // line 1: d ← (cdr − pdr)
 	d.c++             // line 2
 	ncl := ccl        // line 3
 	move := moveNone
+	kind := DecisionHold
 
 	abs := diff
 	if abs < 0 {
@@ -252,23 +326,28 @@ func (d *Decider) next(cdr, pdr float64, ccl int) (int, moveKind) {
 			d.c = 0 // line 13
 			d.probes++
 			move = moveProbe
+			kind = DecisionProbe
 		}
 	case diff > 0: // line 15: application data rate has improved
 		d.rewardLevel(ccl) // line 17: bck[ccl] ← bck[ccl] + 1
 		d.c = 0            // line 18
 		d.rewards++
+		kind = DecisionReward
 	default: // line 19: application data rate has decreased
 		d.bck[ccl] = 0 // line 21
-		if d.inc {     // lines 22-26: revert the last change
-			ncl--
-		} else {
-			ncl++
+		if !d.cfg.DisableRevert {
+			if d.inc { // lines 22-26: revert the last change
+				ncl--
+			} else {
+				ncl++
+			}
+			d.reverts++
+			move = moveRevert
+			kind = DecisionRevert
 		}
 		d.c = 0 // line 27
-		d.reverts++
-		move = moveRevert
 	}
-	return ncl, move // line 29
+	return ncl, move, kind // line 29
 }
 
 func (d *Decider) backoffExpired() bool {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptio/internal/obs"
 	"adaptio/internal/stream"
 )
 
@@ -212,11 +213,19 @@ type VertexStats struct {
 	Total   time.Duration
 }
 
-// JobStats summarizes an executed job.
+// JobStats summarizes an executed job. Edges and Vertices are derived from
+// the per-job obs registry (Metrics) when Execute returns; the registry
+// itself stays available for JSON export or further inspection.
 type JobStats struct {
 	Duration time.Duration
 	Edges    map[string]EdgeStats
 	Vertices map[string]VertexStats
+
+	// Metrics is the per-job observability registry every counter above is
+	// read from: "nephele.edge.<label>.*" per channel,
+	// "nephele.vertex.<name>.*" per vertex, and the "nephele.tasks" event
+	// log of task state transitions.
+	Metrics *obs.Registry
 }
 
 // edgeRuntime is the executable form of one edge.
@@ -224,19 +233,57 @@ type edgeRuntime struct {
 	edge  *Edge
 	links [][]link // [producer][consumer]
 
-	mu    sync.Mutex
-	stats EdgeStats
+	// Per-edge obs counters; add is lock-free, so concurrent subtasks
+	// account for their share without a shared mutex.
+	records       *obs.Counter
+	appBytes      *obs.Counter
+	wireBytes     *obs.Counter
+	levelSwitches *obs.Counter
 
 	fileLinks []*fileLink
 }
 
+// bindObs resolves the edge's counters under scope ("nephele.edge.<label>").
+func (rt *edgeRuntime) bindObs(scope *obs.Scope) {
+	es := scope.Scope(rt.edge.Label())
+	rt.records = es.Counter("records")
+	rt.appBytes = es.Counter("app_bytes")
+	rt.wireBytes = es.Counter("wire_bytes")
+	rt.levelSwitches = es.Counter("level_switches")
+}
+
 func (rt *edgeRuntime) add(s EdgeStats) {
-	rt.mu.Lock()
-	rt.stats.Records += s.Records
-	rt.stats.AppBytes += s.AppBytes
-	rt.stats.WireBytes += s.WireBytes
-	rt.stats.LevelSwitches += s.LevelSwitches
-	rt.mu.Unlock()
+	rt.records.Add(s.Records)
+	rt.appBytes.Add(s.AppBytes)
+	rt.wireBytes.Add(s.WireBytes)
+	rt.levelSwitches.Add(s.LevelSwitches)
+}
+
+// snapshot reads the edge's obs counters back into the stats struct.
+func (rt *edgeRuntime) snapshot() EdgeStats {
+	return EdgeStats{
+		Records:       rt.records.Value(),
+		AppBytes:      rt.appBytes.Value(),
+		WireBytes:     rt.wireBytes.Value(),
+		LevelSwitches: rt.levelSwitches.Value(),
+	}
+}
+
+// vertexObs aggregates one vertex's runtime accounting through atomic obs
+// instruments ("nephele.vertex.<name>.*"), replacing the former mutex-guarded
+// map: Total accumulates via Counter.Add, Busiest via Gauge.SetMax.
+type vertexObs struct {
+	subtasks  *obs.Gauge
+	busiestNS *obs.Gauge
+	totalNS   *obs.Counter
+}
+
+func (vo *vertexObs) snapshot() VertexStats {
+	return VertexStats{
+		Subtasks: int(vo.subtasks.Value()),
+		Busiest:  time.Duration(vo.busiestNS.Value()),
+		Total:    time.Duration(vo.totalNS.Value()),
+	}
 }
 
 // Engine executes job graphs.
@@ -253,10 +300,19 @@ func (e *Engine) Execute(ctx context.Context, g *JobGraph) (*JobStats, error) {
 	}
 	start := time.Now()
 
+	// Per-job registry: every statistic the engine reports is read back from
+	// it, so JobStats is a view over obs rather than a parallel bookkeeping
+	// scheme. A fresh registry per Execute keeps concurrent jobs independent.
+	reg := obs.NewRegistry()
+	job := reg.Scope("nephele")
+	edgeScope := job.Scope("edge")
+	tasks := job.EventLog("tasks", 0)
+
 	runtimes := make(map[*Edge]*edgeRuntime, len(g.edges))
 	var allLinks []link
 	for _, edge := range g.edges {
 		rt := &edgeRuntime{edge: edge}
+		rt.bindObs(edgeScope)
 		np, nc := edge.from.parallelism, edge.to.parallelism
 		rt.links = make([][]link, np)
 		for pi := 0; pi < np; pi++ {
@@ -288,9 +344,18 @@ func (e *Engine) Execute(ctx context.Context, g *JobGraph) (*JobStats, error) {
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
 		firstErr error
-		vsMu     sync.Mutex
-		vstats   = map[string]VertexStats{}
 	)
+	vobs := make(map[string]*vertexObs, len(g.vertices))
+	for _, v := range g.vertices {
+		vs := job.Scope("vertex").Scope(v.name)
+		vo := &vertexObs{
+			subtasks:  vs.Gauge("subtasks"),
+			busiestNS: vs.Gauge("busiest_ns"),
+			totalNS:   vs.Counter("total_ns"),
+		}
+		vo.subtasks.Set(int64(v.parallelism))
+		vobs[v.name] = vo
+	}
 	fail := func(err error) {
 		if err == nil {
 			return
@@ -321,23 +386,22 @@ func (e *Engine) Execute(ctx context.Context, g *JobGraph) (*JobStats, error) {
 				defer wg.Done()
 				defer func() {
 					if r := recover(); r != nil {
+						tasks.Add("task_failed", fmt.Sprintf("%s[%d]: panic: %v", v.name, sub, r))
 						fail(fmt.Errorf("nephele: task %s[%d] panicked: %v", v.name, sub, r))
 					}
 				}()
+				tasks.Add("task_start", fmt.Sprintf("%s[%d]", v.name, sub))
 				subStart := time.Now()
 				err := runSubtask(runCtx, g, v, sub, runtimes)
 				elapsed := time.Since(subStart)
-				vsMu.Lock()
-				vs := vstats[v.name]
-				vs.Subtasks = v.parallelism
-				vs.Total += elapsed
-				if elapsed > vs.Busiest {
-					vs.Busiest = elapsed
-				}
-				vstats[v.name] = vs
-				vsMu.Unlock()
+				vo := vobs[v.name]
+				vo.totalNS.Add(int64(elapsed))
+				vo.busiestNS.SetMax(int64(elapsed))
 				if err != nil {
+					tasks.Add("task_failed", fmt.Sprintf("%s[%d]: %v", v.name, sub, err))
 					fail(fmt.Errorf("nephele: task %s[%d]: %w", v.name, sub, err))
+				} else {
+					tasks.Add("task_done", fmt.Sprintf("%s[%d]", v.name, sub))
 				}
 			}(v, sub)
 		}
@@ -352,11 +416,17 @@ func (e *Engine) Execute(ctx context.Context, g *JobGraph) (*JobStats, error) {
 		return nil, err
 	}
 
-	stats := &JobStats{Duration: time.Since(start), Edges: map[string]EdgeStats{}, Vertices: vstats}
+	stats := &JobStats{
+		Duration: time.Since(start),
+		Edges:    map[string]EdgeStats{},
+		Vertices: map[string]VertexStats{},
+		Metrics:  reg,
+	}
 	for _, rt := range runtimes {
-		rt.mu.Lock()
-		stats.Edges[rt.edge.Label()] = rt.stats
-		rt.mu.Unlock()
+		stats.Edges[rt.edge.Label()] = rt.snapshot()
+	}
+	for name, vo := range vobs {
+		stats.Vertices[name] = vo.snapshot()
 	}
 	return stats, nil
 }

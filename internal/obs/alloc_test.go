@@ -1,0 +1,37 @@
+package obs
+
+import "testing"
+
+// The data plane increments counters on every block and observes the window
+// rate histogram on every decision window; any allocation there is GC churn
+// that distorts the very signal the paper's algorithm reacts to. These gates
+// pin the hot-path operations at zero allocations.
+func TestHotPathAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Scope("alloc")
+	c := s.Counter("counter")
+	g := s.Gauge("gauge")
+	h := s.Histogram("hist", nil)
+
+	for name, fn := range map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"Counter.Add":       func() { c.Add(3) },
+		"Counter.Value":     func() { _ = c.Value() },
+		"Gauge.Set":         func() { g.Set(9) },
+		"Gauge.Add":         func() { g.Add(-1) },
+		"Gauge.SetMax":      func() { g.SetMax(12) },
+		"Histogram.Observe": func() { h.Observe(4096) },
+	} {
+		if avg := testing.AllocsPerRun(200, fn); avg != 0 {
+			t.Errorf("%s allocates %.1f times per op, want 0", name, avg)
+		}
+	}
+
+	// Unregistered (nil-scope) metrics share the same hot path and must be
+	// equally free.
+	var ns *Scope
+	nc := ns.Counter("c")
+	if avg := testing.AllocsPerRun(200, func() { nc.Inc() }); avg != 0 {
+		t.Errorf("nil-scope Counter.Inc allocates %.1f times per op, want 0", avg)
+	}
+}

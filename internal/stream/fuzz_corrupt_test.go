@@ -48,6 +48,11 @@ func FuzzReaderCorruptStream(f *testing.F) {
 	flipped := append([]byte(nil), wire...)
 	flipped[12] ^= 0x40 // CRC byte of the first frame
 	f.Add(flipped)
+	// A stream that ends mid-header: valid blocks followed by the first 7
+	// bytes of another frame header (headerSize is 16). Exercises the
+	// header-read truncation path rather than payload truncation.
+	midHeader := append(append([]byte(nil), wire...), wire[:7]...)
+	f.Add(midHeader)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {

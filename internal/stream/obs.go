@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"fmt"
+	"strconv"
+
+	"adaptio/internal/compress"
+	"adaptio/internal/core"
+	"adaptio/internal/obs"
+)
+
+// rateBuckets spans the window app-rate histogram: 1 KB/s to ~8.4 GB/s in
+// powers of two.
+var rateBuckets = obs.ExpBuckets(1e3, 2, 24)
+
+// writerObs bundles the Writer's observability instruments. All metrics are
+// resolved once at construction; hot-path updates are lock-free atomic
+// increments (nil-scope construction yields unregistered but functional
+// metrics, so the hot path never branches on "is obs configured").
+type writerObs struct {
+	appBytes      *obs.Counter
+	wireBytes     *obs.Counter
+	blocks        *obs.Counter
+	levelSwitches *obs.Counter
+	rawFallbacks  *obs.Counter
+	// Per-ladder-level byte accounting, indexed by level.
+	levelAppBytes  []*obs.Counter
+	levelWireBytes []*obs.Counter
+	// windowRate observes the application data rate (bytes/second) of
+	// every completed decision window — the cdr the Decider consumes.
+	windowRate *obs.Histogram
+	// decisions logs the controller's probe/reward/revert transitions.
+	decisions *obs.EventLog
+}
+
+func newWriterObs(scope *obs.Scope, ladder compress.Ladder) writerObs {
+	o := writerObs{
+		appBytes:      scope.Counter("app_bytes"),
+		wireBytes:     scope.Counter("wire_bytes"),
+		blocks:        scope.Counter("blocks"),
+		levelSwitches: scope.Counter("level_switches"),
+		rawFallbacks:  scope.Counter("raw_fallbacks"),
+		windowRate:    scope.Histogram("window_rate", rateBuckets),
+		decisions:     scope.EventLog("decisions", 0),
+	}
+	appFam := scope.CounterFamily("app_bytes", "level")
+	wireFam := scope.CounterFamily("wire_bytes", "level")
+	for lvl := range ladder {
+		v := strconv.Itoa(lvl)
+		o.levelAppBytes = append(o.levelAppBytes, appFam.With(v))
+		o.levelWireBytes = append(o.levelWireBytes, wireFam.With(v))
+	}
+	// Derived compression ratio (wire/app; 1.0 until bytes flow).
+	scope.FloatFunc("ratio", func() float64 {
+		app := o.appBytes.Value()
+		if app == 0 {
+			return 1
+		}
+		return float64(o.wireBytes.Value()) / float64(app)
+	})
+	return o
+}
+
+// onDecision publishes one controller decision to the event log. Hold
+// decisions (stable rate, backoff pending) are skipped: they carry no
+// transition and would flood the bounded ring at one per window.
+func (o *writerObs) onDecision(d core.Decision) {
+	if d.Kind == core.DecisionHold {
+		return
+	}
+	o.decisions.Add(d.Kind.String(), fmt.Sprintf(
+		"level %d -> %d rate %.0f B/s prev %.0f B/s bck[%d]=%d",
+		d.From, d.To, d.Rate, d.PrevRate, d.From, d.Backoff))
+}

@@ -10,6 +10,7 @@ import (
 	"adaptio/internal/block"
 	"adaptio/internal/compress"
 	"adaptio/internal/core"
+	"adaptio/internal/obs"
 	"adaptio/internal/vclock"
 )
 
@@ -79,10 +80,17 @@ type WriterConfig struct {
 	// OnWindow, if non-nil, is invoked after every completed decision
 	// window (also in static mode, with NextLevel == Level).
 	OnWindow func(WindowStat)
-	// DisableBackoff and MaxBackoffExp are forwarded to the decision
-	// model (ablation knobs, see internal/core).
+	// DisableBackoff, MaxBackoffExp and DisableRevert are forwarded to
+	// the decision model (ablation knobs, see internal/core).
 	DisableBackoff bool
 	MaxBackoffExp  int
+	DisableRevert  bool
+	// Obs, if non-nil, is the observability scope the writer registers
+	// its metrics under (conventionally "<component>.stream.writer"):
+	// byte/block counters (total and per level), the window app-rate
+	// histogram, and the controller decision event log. A nil scope
+	// keeps the writer fully functional with unregistered metrics.
+	Obs *obs.Scope
 	// Parallelism compresses blocks on an order-preserving worker pool of
 	// the given size; 0 and 1 mean synchronous compression. Frames stay
 	// strictly ordered on the wire, so the receiver needs no changes.
@@ -119,6 +127,7 @@ type Writer struct {
 	statsMu      sync.Mutex
 	winWireBytes int64
 	stats        Stats
+	obs          writerObs
 
 	closed bool
 	err    error // sticky error
@@ -161,6 +170,7 @@ func NewWriter(dst io.Writer, cfg WriterConfig) (*Writer, error) {
 		clock:  cfg.Clock,
 	}
 	w.stats.BlocksPerLevel = make([]int64, len(cfg.Ladder))
+	w.obs = newWriterObs(cfg.Obs, cfg.Ladder)
 
 	if cfg.Static {
 		if cfg.StaticLevel < 0 || cfg.StaticLevel >= len(cfg.Ladder) {
@@ -173,6 +183,7 @@ func NewWriter(dst io.Writer, cfg WriterConfig) (*Writer, error) {
 			Alpha:          cfg.Alpha,
 			DisableBackoff: cfg.DisableBackoff,
 			MaxBackoffExp:  cfg.MaxBackoffExp,
+			DisableRevert:  cfg.DisableRevert,
 		})
 		if err != nil {
 			return nil, err
@@ -203,19 +214,24 @@ func (w *Writer) writeEncodedFrame(f encodedFrame) error {
 		return err
 	}
 	w.statsMu.Lock()
-	w.accountFrame(int64(len(f.frame.B)), f.level, f.codecID)
+	w.accountFrame(int64(len(f.frame.B)), int64(f.rawLen), f.level, f.codecID)
 	w.statsMu.Unlock()
 	return nil
 }
 
 // accountFrame updates the frame counters; callers hold statsMu.
-func (w *Writer) accountFrame(wireBytes int64, level int, codecID uint8) {
+func (w *Writer) accountFrame(wireBytes, rawBytes int64, level int, codecID uint8) {
 	w.stats.WireBytes += wireBytes
 	w.winWireBytes += wireBytes
 	w.stats.Blocks++
 	w.stats.BlocksPerLevel[level]++
+	w.obs.wireBytes.Add(wireBytes)
+	w.obs.blocks.Inc()
+	w.obs.levelAppBytes[level].Add(rawBytes)
+	w.obs.levelWireBytes[level].Add(wireBytes)
 	if codecID == compress.IDNone && w.ladder[level].Codec.ID() != compress.IDNone {
 		w.stats.RawFallbacks++
+		w.obs.rawFallbacks.Inc()
 	}
 }
 
@@ -253,6 +269,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 		total += n
 		w.stats.AppBytes += int64(n)
 		w.winAppBytes += int64(n)
+		w.obs.appBytes.Add(int64(n))
 		if len(w.buf) == cap(w.buf) {
 			if err := w.flushBlock(); err != nil {
 				w.err = err
@@ -346,7 +363,7 @@ func (w *Writer) flushBlock() error {
 		return err
 	}
 	w.statsMu.Lock()
-	w.accountFrame(int64(payload+headerSize), w.level, codecID)
+	w.accountFrame(int64(payload+headerSize), int64(len(w.buf)), w.level, codecID)
 	w.statsMu.Unlock()
 	w.buf = w.buf[:0]
 	return nil
@@ -373,9 +390,11 @@ func (w *Writer) finishWindow(final bool) {
 		elapsed = time.Nanosecond
 	}
 	rate := float64(w.winAppBytes) / elapsed.Seconds()
+	w.obs.windowRate.Observe(rate)
 	next := w.level
 	if w.dec != nil && !final {
 		next = w.dec.Observe(rate)
+		w.obs.onDecision(w.dec.LastDecision())
 	}
 	if w.cfg.OnWindow != nil {
 		w.statsMu.Lock()
@@ -400,6 +419,7 @@ func (w *Writer) finishWindow(final bool) {
 		}
 		w.level = next
 		w.stats.LevelSwitches++
+		w.obs.levelSwitches.Inc()
 	}
 	w.windowStart = now
 	w.winAppBytes = 0

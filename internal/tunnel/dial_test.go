@@ -42,7 +42,7 @@ func TestDialPeerRetriesUntilTargetAppears(t *testing.T) {
 		DialBackoff: 20 * time.Millisecond,
 		Logf:        func(format string, args ...any) { attempts++ },
 	}
-	conn, err := dialPeer(context.Background(), addr, cfg)
+	conn, err := dialPeer(context.Background(), addr, cfg, newTunnelMetrics(nil))
 	ln2 := <-up
 	if ln2 == nil {
 		t.Skip("could not reclaim the port; environment reassigned it")
@@ -63,7 +63,7 @@ func TestDialPeerFailureWrapsErrDial(t *testing.T) {
 		DialRetries: 2,
 		DialBackoff: 5 * time.Millisecond,
 		DialTimeout: 500 * time.Millisecond,
-	})
+	}, newTunnelMetrics(nil))
 	if !errors.Is(err, ErrDial) {
 		t.Fatalf("got %v, want error wrapping ErrDial", err)
 	}
@@ -81,7 +81,7 @@ func TestDialPeerHonorsContextCancel(t *testing.T) {
 	_, err := dialPeer(ctx, "127.0.0.1:1", Config{
 		DialRetries: 1000,
 		DialBackoff: 30 * time.Second, // would sleep ~forever without ctx
-	})
+	}, newTunnelMetrics(nil))
 	if !errors.Is(err, ErrDial) {
 		t.Fatalf("got %v, want error wrapping ErrDial", err)
 	}

@@ -54,7 +54,8 @@ func FuzzTunnelFrame(f *testing.F) {
 		go func() {
 			defer close(relayDone)
 			relay(context.Background(), plainRelay, wireRelay,
-				Config{Static: true, StaticLevel: 1}, "exit->entry")
+				Config{Static: true, StaticLevel: 1}, "exit->entry",
+				newTunnelMetrics(nil))
 		}()
 
 		var wg sync.WaitGroup

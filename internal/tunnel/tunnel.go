@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"adaptio/internal/block"
+	"adaptio/internal/obs"
 	"adaptio/internal/stream"
 	"adaptio/internal/xrand"
 )
@@ -94,6 +95,54 @@ type Config struct {
 	// tests use (internal/faultio.WrapConn); production configs leave it
 	// nil.
 	WrapWire func(net.Conn) net.Conn
+
+	// Obs, if non-nil, is the observability scope the endpoint registers
+	// its metrics under (conventionally "tunnel"): connection counts,
+	// dial retry/failure counters, idle-timeout teardowns, relay byte
+	// totals, plus the compression stream's own metrics under
+	// "<scope>.stream.writer". actunnel wires this to -metrics-addr.
+	Obs *obs.Scope
+}
+
+// tunnelMetrics are an endpoint's instruments, resolved once per endpoint
+// so per-connection work never touches the registry.
+type tunnelMetrics struct {
+	connsTotal   *obs.Counter
+	connsActive  *obs.Gauge
+	dialAttempts *obs.Counter
+	dialRetries  *obs.Counter
+	dialFailures *obs.Counter
+	idleTimeouts *obs.Counter
+	txAppBytes   *obs.Counter // plain->wire direction, pre-compression
+	txWireBytes  *obs.Counter
+	txSwitches   *obs.Counter
+	rxAppBytes   *obs.Counter // wire->plain direction, post-decompression
+	rxWireBytes  *obs.Counter
+	rxBlocks     *obs.Counter
+	// streamScope is forwarded to every connection's stream.Writer, so
+	// all connections aggregate into one set of stream metrics.
+	streamScope *obs.Scope
+}
+
+func newTunnelMetrics(scope *obs.Scope) *tunnelMetrics {
+	conns := scope.Scope("conns")
+	dial := scope.Scope("dial")
+	relay := scope.Scope("relay")
+	return &tunnelMetrics{
+		connsTotal:   conns.Counter("total"),
+		connsActive:  conns.Gauge("active"),
+		dialAttempts: dial.Counter("attempts"),
+		dialRetries:  dial.Counter("retries"),
+		dialFailures: dial.Counter("failures"),
+		idleTimeouts: scope.Counter("idle_timeouts"),
+		txAppBytes:   relay.Counter("tx_app_bytes"),
+		txWireBytes:  relay.Counter("tx_wire_bytes"),
+		txSwitches:   relay.Counter("tx_level_switches"),
+		rxAppBytes:   relay.Counter("rx_app_bytes"),
+		rxWireBytes:  relay.Counter("rx_wire_bytes"),
+		rxBlocks:     relay.Counter("rx_blocks"),
+		streamScope:  scope.Scope("stream").Scope("writer"),
+	}
 }
 
 // ConnStats describes one finished connection direction.
@@ -104,12 +153,13 @@ type ConnStats struct {
 	Err       error
 }
 
-func (c Config) writerConfig() stream.WriterConfig {
+func (c Config) writerConfig(obsScope *obs.Scope) stream.WriterConfig {
 	return stream.WriterConfig{
 		Window:      c.Window,
 		Alpha:       c.Alpha,
 		Static:      c.Static,
 		StaticLevel: c.StaticLevel,
+		Obs:         obsScope,
 	}
 }
 
@@ -136,7 +186,7 @@ func jitter(d time.Duration) time.Duration {
 
 // dialPeer dials addr with cfg's timeout, retry and backoff policy. The
 // returned error wraps ErrDial.
-func dialPeer(ctx context.Context, addr string, cfg Config) (net.Conn, error) {
+func dialPeer(ctx context.Context, addr string, cfg Config, m *tunnelMetrics) (net.Conn, error) {
 	timeout := cfg.DialTimeout
 	if timeout <= 0 {
 		timeout = DefaultDialTimeout
@@ -148,14 +198,17 @@ func dialPeer(ctx context.Context, addr string, cfg Config) (net.Conn, error) {
 	d := net.Dialer{Timeout: timeout}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		m.dialAttempts.Inc()
 		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			return conn, nil
 		}
 		lastErr = err
 		if attempt >= cfg.DialRetries || ctx.Err() != nil {
+			m.dialFailures.Inc()
 			return nil, fmt.Errorf("%w: %s after %d attempt(s): %v", ErrDial, addr, attempt+1, lastErr)
 		}
+		m.dialRetries.Inc()
 		wait := jitter(backoff)
 		if backoff < maxDialBackoff {
 			backoff *= 2
@@ -234,6 +287,7 @@ func listen(ctx context.Context, listenAddr string, cfg Config, dialAddr string,
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	ep := &Endpoint{ln: ln, cancel: cancel, grace: cfg.ShutdownGrace}
+	m := newTunnelMetrics(cfg.Obs)
 	ep.wg.Add(1)
 	go func() {
 		defer ep.wg.Done()
@@ -248,7 +302,7 @@ func listen(ctx context.Context, listenAddr string, cfg Config, dialAddr string,
 			ep.wg.Add(1)
 			go func() {
 				defer ep.wg.Done()
-				peer, err := dialPeer(runCtx, dialAddr, cfg)
+				peer, err := dialPeer(runCtx, dialAddr, cfg, m)
 				if err != nil {
 					cfg.logf("tunnel: %v", err)
 					conn.Close()
@@ -267,7 +321,7 @@ func listen(ctx context.Context, listenAddr string, cfg Config, dialAddr string,
 				if acceptsPlain {
 					direction = "entry->exit"
 				}
-				if relayErr := relay(runCtx, plain, wire, cfg, direction); relayErr != nil {
+				if relayErr := relay(runCtx, plain, wire, cfg, direction, m); relayErr != nil {
 					cfg.logf("tunnel: relay: %v", relayErr)
 				}
 			}()
@@ -325,9 +379,12 @@ func classify(err error) error {
 // relay shuttles one connection: bytes from plain are compressed onto wire,
 // frames from wire are decompressed onto plain. It returns when both
 // directions have finished.
-func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction string) error {
+func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction string, m *tunnelMetrics) error {
 	defer plain.Close()
 	defer wire.Close()
+	m.connsTotal.Inc()
+	m.connsActive.Add(1)
+	defer m.connsActive.Add(-1)
 
 	plainTCP, okP := plain.(halfCloser)
 	wireTCP, okW := wire.(halfCloser)
@@ -354,7 +411,7 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		w, err := stream.NewWriter(wireRW, cfg.writerConfig())
+		w, err := stream.NewWriter(wireRW, cfg.writerConfig(m.streamScope))
 		if err != nil {
 			errs <- err
 			return
@@ -369,11 +426,18 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 			cpErr = closeErr
 		}
 		cpErr = classify(cpErr)
+		if errors.Is(cpErr, ErrIdleTimeout) {
+			m.idleTimeouts.Inc()
+		}
 		if okW {
 			wireTCP.CloseWrite() // signal EOF downstream, keep reading
 		}
+		st := w.Stats()
+		m.txAppBytes.Add(st.AppBytes)
+		m.txWireBytes.Add(st.WireBytes)
+		m.txSwitches.Add(st.LevelSwitches)
 		if cfg.OnDone != nil {
-			cfg.OnDone(ConnStats{Direction: direction, Stats: w.Stats(), Err: cpErr})
+			cfg.OnDone(ConnStats{Direction: direction, Stats: st, Err: cpErr})
 		}
 		if cpErr != nil {
 			errs <- fmt.Errorf("compress path: %w", cpErr)
@@ -392,11 +456,18 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 		// io.Copy uses r's WriteTo: blocks flow straight from the reader's
 		// pooled arena buffer to the plain conn, no copy buffer at all.
 		_, cpErr := io.Copy(plainRW, r)
+		raw, wireBytes, blocks := r.Counters()
+		m.rxAppBytes.Add(raw)
+		m.rxWireBytes.Add(wireBytes)
+		m.rxBlocks.Add(blocks)
 		r.Close() // recycle the arena buffers if the plain side failed first
 		if okP {
 			plainTCP.CloseWrite()
 		}
 		if cpErr = classify(cpErr); cpErr != nil {
+			if errors.Is(cpErr, ErrIdleTimeout) {
+				m.idleTimeouts.Inc()
+			}
 			errs <- fmt.Errorf("decompress path: %w", cpErr)
 		}
 	}()
