@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short test-shape test-obs bench bench-alloc alloc-gate repro claims fuzz fuzz-smoke chaos cover clean
+.PHONY: all build test test-race test-short test-shape test-obs bench bench-alloc bench-compare alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
 
 all: build test
 
@@ -41,6 +41,13 @@ bench:
 bench-alloc:
 	$(GO) test -run '^$$' -bench '^BenchmarkAlloc' -benchmem -benchtime=300x ./internal/...
 
+# Perf-regression gate: rerun the allocation benchmarks and fail if any
+# B/op or allocs/op figure regressed >15% against the committed baseline.
+# Self-contained (cmd/benchdiff); no benchstat install needed.
+bench-compare:
+	$(GO) test -run '^$$' -bench '^BenchmarkAlloc' -benchmem -benchtime=300x ./internal/... | tee bench_output.txt
+	$(GO) run ./cmd/benchdiff -baseline BENCH_alloc.json bench_output.txt
+
 # The AllocsPerRun regression gates (serial round trip, presized decodes).
 alloc-gate:
 	$(GO) test -run 'AllocGate|Presized|ReleasesAllBuffers' -count=1 -v \
@@ -54,6 +61,11 @@ repro:
 claims:
 	$(GO) run ./cmd/expdriver -claims
 
+# Connection-scale soak (docs/scaling.md): bounded pool under heavy churn,
+# leak-checked drain. The nightly workflow runs a longer variant.
+soak:
+	$(GO) run ./cmd/acload -conns 256 -dur 15s -max-conns 128 -accept-queue 128 -q
+
 fuzz:
 	$(GO) test -fuzz=FuzzFastRoundTrip -fuzztime=30s ./internal/compress/lzfast/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/compress/lzheavy/
@@ -65,6 +77,14 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=10s ./internal/stream/
 	$(GO) test -fuzz=FuzzTunnelFrame -fuzztime=10s ./internal/tunnel/
+
+# Extended fuzz sessions of every target; what the nightly workflow runs.
+fuzz-nightly:
+	$(GO) test -fuzz=FuzzFastRoundTrip -fuzztime=5m ./internal/compress/lzfast/
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=5m ./internal/compress/lzheavy/
+	$(GO) test -fuzz=FuzzWriterChunking -fuzztime=5m ./internal/stream/
+	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=5m ./internal/stream/
+	$(GO) test -fuzz=FuzzTunnelFrame -fuzztime=5m ./internal/tunnel/
 
 # The seeded fault-injection scenarios (docs/robustness.md) under -race.
 chaos:

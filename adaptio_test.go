@@ -2,6 +2,7 @@ package adaptio_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -134,7 +135,7 @@ func (customCodec) Compress(dst, src []byte) []byte {
 
 func (customCodec) Decompress(dst, src []byte, size int) ([]byte, error) {
 	if len(src) != size {
-		return dst, fmt.Errorf("xor: size mismatch")
+		return dst, errors.New("xor: size mismatch")
 	}
 	for _, b := range src {
 		dst = append(dst, b^0x5A)

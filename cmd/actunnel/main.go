@@ -43,6 +43,8 @@ func main() {
 		dialRetries = flag.Int("dial-retries", 0, "extra dial attempts after the first fails, with exponential backoff")
 		dialBackoff = flag.Duration("dial-backoff", tunnel.DefaultDialBackoff, "base backoff between dial attempts")
 		grace       = flag.Duration("grace", 0, "drain time granted to active connections on shutdown (0 = close immediately)")
+		maxConns    = flag.Int("max-conns", 0, "serve at most this many connections concurrently, shedding excess (0 = unlimited)")
+		acceptQueue = flag.Int("accept-queue", 0, "connections beyond -max-conns that may wait for a slot before shedding (0 = shed immediately)")
 		metricsAddr = flag.String("metrics-addr", "", "serve the JSON metrics snapshot over HTTP on this address (empty = off)")
 	)
 	flag.Parse()
@@ -61,6 +63,8 @@ func main() {
 		DialRetries:   *dialRetries,
 		DialBackoff:   *dialBackoff,
 		ShutdownGrace: *grace,
+		MaxConns:      *maxConns,
+		AcceptQueue:   *acceptQueue,
 		Obs:           reg.Scope("tunnel"),
 	}
 	if *metricsAddr != "" {

@@ -1,0 +1,286 @@
+// Command benchdiff is the allocation perf-regression gate: it parses
+// `go test -bench -benchmem` output and compares every benchmark's B/op
+// and allocs/op against the committed baseline in BENCH_alloc.json,
+// failing (exit 1) when either regresses by more than the tolerance.
+//
+// It exists because CI must not depend on tools outside the repository:
+// benchstat needs an install step, benchdiff is `go run ./cmd/benchdiff`.
+//
+//	make bench-alloc | tee bench.txt
+//	go run ./cmd/benchdiff -baseline BENCH_alloc.json bench.txt
+//
+// or, as one target: `make bench-compare`. Reading from stdin works too.
+//
+// The pass rule, per metric (bytes and allocs independently):
+//
+//	new <= base*(1+regress) + slack
+//
+// The multiplicative term is the headline tolerance (default 15%, per
+// docs/performance.md). The additive slack exists for near-zero baselines:
+// a 0 B/op baseline would otherwise fail on any nonzero reading, and
+// sync.Pool warm-up noise under -benchtime=300x is worth a few hundred
+// bytes. Defaults: 512 B and 1 alloc. Baselines large enough to matter
+// are unaffected by the slack.
+//
+// When the same benchmark appears several times (multiple -count runs),
+// the minimum reading is kept — the gate measures the floor the code can
+// reach, not scheduler noise. Baseline benchmarks missing from the input
+// fail the gate (a silently skipped benchmark is a rotten gate) unless
+// -allow-missing is set; new benchmarks absent from the baseline are
+// reported but never fail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// measurement is one benchmark's memory profile.
+type measurement struct {
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// baselineFile mirrors BENCH_alloc.json. Each benchmark's entry maps set
+// names to measurements but may also carry string fields ("note"), so the
+// sets stay raw until the requested one is picked out.
+type baselineFile struct {
+	Description string                                `json:"description"`
+	Benchmarks  map[string]map[string]json.RawMessage `json:"benchmarks"`
+}
+
+// options holds the gate tolerances.
+type options struct {
+	regress      float64 // multiplicative tolerance, e.g. 0.15
+	slackBytes   int64   // additive slack for B/op
+	slackAllocs  int64   // additive slack for allocs/op
+	allowMissing bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		baselinePath = flag.String("baseline", "BENCH_alloc.json", "committed baseline file")
+		set          = flag.String("set", "current", "which baseline set to compare against")
+		regress      = flag.Float64("regress", 0.15, "fail when B/op or allocs/op grow by more than this fraction")
+		slackBytes   = flag.Int64("slack-bytes", 512, "additive B/op slack (protects near-zero baselines from noise)")
+		slackAllocs  = flag.Int64("slack-allocs", 1, "additive allocs/op slack")
+		allowMissing = flag.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the input")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+		src = flag.Arg(0)
+	}
+
+	base, err := loadBaseline(*baselinePath, *set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatalf("no benchmark lines with -benchmem output found in %s", src)
+	}
+
+	opts := options{regress: *regress, slackBytes: *slackBytes, slackAllocs: *slackAllocs, allowMissing: *allowMissing}
+	rows, failed := compare(base, results, opts)
+	fmt.Print(renderRows(rows, *set, opts))
+	if failed {
+		log.Fatalf("FAIL: allocation regression beyond %.0f%% against %s %q", *regress*100, *baselinePath, *set)
+	}
+	fmt.Printf("benchdiff: PASS (%d benchmarks within %.0f%% of %q)\n", len(rows), *regress*100, *set)
+}
+
+// loadBaseline reads the named measurement set out of the baseline file.
+func loadBaseline(path, set string) (map[string]measurement, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]measurement, len(bf.Benchmarks))
+	for name, sets := range bf.Benchmarks {
+		raw, ok := sets[set]
+		if !ok {
+			return nil, fmt.Errorf("%s: benchmark %q has no set %q", path, name, set)
+		}
+		var m measurement
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("%s: benchmark %q set %q: %w", path, name, set, err)
+		}
+		out[name] = m
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in baseline", path)
+	}
+	return out, nil
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+//
+//	BenchmarkAllocWriterSteady-8   300   5067 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
+
+// parseBench extracts {name -> measurement} from benchmark output. When a
+// benchmark repeats, the minimum of each metric is kept.
+func parseBench(r io.Reader) (map[string]measurement, error) {
+	out := map[string]measurement{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[2])
+		var cur measurement
+		found := 0
+		for i := 1; i < len(rest); i++ {
+			v, err := strconv.ParseFloat(rest[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch rest[i] {
+			case "B/op":
+				cur.BytesPerOp = int64(v)
+				found++
+			case "allocs/op":
+				cur.AllocsPerOp = int64(v)
+				found++
+			}
+		}
+		if found < 2 {
+			continue // no -benchmem columns on this line
+		}
+		if prev, ok := out[name]; ok {
+			cur.BytesPerOp = min(cur.BytesPerOp, prev.BytesPerOp)
+			cur.AllocsPerOp = min(cur.AllocsPerOp, prev.AllocsPerOp)
+		}
+		out[name] = cur
+	}
+	return out, sc.Err()
+}
+
+// verdicts a row can carry.
+const (
+	verdictOK      = "ok"
+	verdictFail    = "FAIL"
+	verdictMissing = "MISSING"
+	verdictNew     = "new"
+)
+
+// row is one benchmark's comparison outcome.
+type row struct {
+	name    string
+	base    measurement
+	got     measurement
+	verdict string
+	reasons []string
+}
+
+// exceeds reports whether got regresses past base under the gate rule
+// `got <= base*(1+regress) + slack`.
+func exceeds(got, base int64, regress float64, slack int64) bool {
+	limit := int64(float64(base)*(1+regress)+0.5) + slack
+	return got > limit
+}
+
+// compare evaluates every baseline benchmark against the parsed results
+// and reports whether the gate failed.
+func compare(base, results map[string]measurement, opts options) ([]row, bool) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		b := base[name]
+		got, ok := results[name]
+		if !ok {
+			r := row{name: name, base: b, verdict: verdictMissing}
+			if !opts.allowMissing {
+				failed = true
+				r.reasons = append(r.reasons, "benchmark missing from input")
+			}
+			rows = append(rows, r)
+			continue
+		}
+		r := row{name: name, base: b, got: got, verdict: verdictOK}
+		if exceeds(got.BytesPerOp, b.BytesPerOp, opts.regress, opts.slackBytes) {
+			r.reasons = append(r.reasons, fmt.Sprintf("B/op %d > %d+%.0f%%+%d", got.BytesPerOp, b.BytesPerOp, opts.regress*100, opts.slackBytes))
+		}
+		if exceeds(got.AllocsPerOp, b.AllocsPerOp, opts.regress, opts.slackAllocs) {
+			r.reasons = append(r.reasons, fmt.Sprintf("allocs/op %d > %d+%.0f%%+%d", got.AllocsPerOp, b.AllocsPerOp, opts.regress*100, opts.slackAllocs))
+		}
+		if len(r.reasons) > 0 {
+			r.verdict = verdictFail
+			failed = true
+		}
+		rows = append(rows, r)
+	}
+
+	// Benchmarks present in the run but absent from the baseline:
+	// informational only — they need a baseline entry, not a verdict.
+	extra := make([]string, 0)
+	for name := range results {
+		if _, ok := base[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		rows = append(rows, row{name: name, got: results[name], verdict: verdictNew})
+	}
+	return rows, failed
+}
+
+// renderRows formats the comparison as an aligned table.
+func renderRows(rows []row, set string, opts options) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "baseline set %q, tolerance +%.0f%%\n", set, opts.regress*100)
+	fmt.Fprintf(&sb, "%-34s %12s %12s %12s %12s  %s\n",
+		"benchmark", "base B/op", "got B/op", "base allocs", "got allocs", "verdict")
+	for _, r := range rows {
+		gb, ga := "-", "-"
+		if r.verdict != verdictMissing {
+			gb, ga = strconv.FormatInt(r.got.BytesPerOp, 10), strconv.FormatInt(r.got.AllocsPerOp, 10)
+		}
+		bb, ba := strconv.FormatInt(r.base.BytesPerOp, 10), strconv.FormatInt(r.base.AllocsPerOp, 10)
+		if r.verdict == verdictNew {
+			bb, ba = "-", "-"
+		}
+		note := r.verdict
+		if len(r.reasons) > 0 {
+			note += " (" + strings.Join(r.reasons, "; ") + ")"
+		}
+		fmt.Fprintf(&sb, "%-34s %12s %12s %12s %12s  %s\n", r.name, bb, gb, ba, ga, note)
+	}
+	return sb.String()
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: adaptio/internal/stream
+cpu: whatever
+BenchmarkAllocWriterSteady-8   	     300	      5067 ns/op	 25882.51 MB/s	       0 B/op	       0 allocs/op
+BenchmarkAllocReaderSteady-8   	     300	      4012 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAllocWriterChurn-8    	     300	     91042 ns/op	     600 B/op	       3 allocs/op
+BenchmarkNotMem-8              	     300	      1000 ns/op
+PASS
+ok  	adaptio/internal/stream	1.2s
+BenchmarkAllocWriterChurn-8    	     300	     90000 ns/op	     550 B/op	       4 allocs/op
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	if m := got["BenchmarkAllocWriterSteady"]; m.BytesPerOp != 0 || m.AllocsPerOp != 0 {
+		t.Fatalf("WriterSteady = %+v, want zeros", m)
+	}
+	// Repeated benchmark keeps the per-metric minimum: 550 B from the
+	// second run, 3 allocs from the first.
+	if m := got["BenchmarkAllocWriterChurn"]; m.BytesPerOp != 550 || m.AllocsPerOp != 3 {
+		t.Fatalf("WriterChurn = %+v, want {550 3}", m)
+	}
+	if _, ok := got["BenchmarkNotMem"]; ok {
+		t.Fatal("line without -benchmem columns must be skipped")
+	}
+}
+
+func TestExceeds(t *testing.T) {
+	cases := []struct {
+		got, base int64
+		regress   float64
+		slack     int64
+		want      bool
+	}{
+		{got: 0, base: 0, regress: 0.15, slack: 512, want: false},
+		{got: 512, base: 0, regress: 0.15, slack: 512, want: false}, // slack floor
+		{got: 513, base: 0, regress: 0.15, slack: 512, want: true},
+		{got: 115, base: 100, regress: 0.15, slack: 0, want: false}, // exactly +15%
+		{got: 116, base: 100, regress: 0.15, slack: 0, want: true},
+		{got: 1_150_000, base: 1_000_000, regress: 0.15, slack: 512, want: false},
+		{got: 1_160_000, base: 1_000_000, regress: 0.15, slack: 512, want: true},
+		{got: 1, base: 0, regress: 0.15, slack: 1, want: false}, // allocs slack
+		{got: 2, base: 0, regress: 0.15, slack: 1, want: true},
+	}
+	for _, c := range cases {
+		if got := exceeds(c.got, c.base, c.regress, c.slack); got != c.want {
+			t.Errorf("exceeds(%d, %d, %v, %d) = %v, want %v", c.got, c.base, c.regress, c.slack, got, c.want)
+		}
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := map[string]measurement{
+		"BenchmarkA": {BytesPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkB": {BytesPerOp: 0, AllocsPerOp: 0},
+		"BenchmarkC": {BytesPerOp: 500, AllocsPerOp: 5},
+	}
+	opts := options{regress: 0.15, slackBytes: 512, slackAllocs: 1}
+
+	t.Run("all within tolerance", func(t *testing.T) {
+		results := map[string]measurement{
+			"BenchmarkA": {BytesPerOp: 1100, AllocsPerOp: 11},
+			"BenchmarkB": {BytesPerOp: 100, AllocsPerOp: 1},
+			"BenchmarkC": {BytesPerOp: 400, AllocsPerOp: 4},
+		}
+		rows, failed := compare(base, results, opts)
+		if failed {
+			t.Fatalf("gate failed, rows: %+v", rows)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("got %d rows, want 3", len(rows))
+		}
+	})
+
+	t.Run("bytes regression fails", func(t *testing.T) {
+		results := map[string]measurement{
+			"BenchmarkA": {BytesPerOp: 5000, AllocsPerOp: 10},
+			"BenchmarkB": {},
+			"BenchmarkC": {BytesPerOp: 500, AllocsPerOp: 5},
+		}
+		rows, failed := compare(base, results, opts)
+		if !failed {
+			t.Fatal("5x B/op growth must fail the gate")
+		}
+		if rows[0].verdict != verdictFail {
+			t.Fatalf("BenchmarkA verdict = %q, want FAIL", rows[0].verdict)
+		}
+	})
+
+	t.Run("allocs regression fails", func(t *testing.T) {
+		results := map[string]measurement{
+			"BenchmarkA": {BytesPerOp: 1000, AllocsPerOp: 20},
+			"BenchmarkB": {},
+			"BenchmarkC": {BytesPerOp: 500, AllocsPerOp: 5},
+		}
+		if _, failed := compare(base, results, opts); !failed {
+			t.Fatal("2x allocs/op growth must fail the gate")
+		}
+	})
+
+	t.Run("missing benchmark fails unless allowed", func(t *testing.T) {
+		results := map[string]measurement{
+			"BenchmarkA": {BytesPerOp: 1000, AllocsPerOp: 10},
+			"BenchmarkC": {BytesPerOp: 500, AllocsPerOp: 5},
+		}
+		if _, failed := compare(base, results, opts); !failed {
+			t.Fatal("missing baseline benchmark must fail")
+		}
+		lax := opts
+		lax.allowMissing = true
+		rows, failed := compare(base, results, lax)
+		if failed {
+			t.Fatal("missing benchmark must pass with -allow-missing")
+		}
+		for _, r := range rows {
+			if r.name == "BenchmarkB" && r.verdict != verdictMissing {
+				t.Fatalf("BenchmarkB verdict = %q, want MISSING", r.verdict)
+			}
+		}
+	})
+
+	t.Run("new benchmark is informational", func(t *testing.T) {
+		results := map[string]measurement{
+			"BenchmarkA": {BytesPerOp: 1000, AllocsPerOp: 10},
+			"BenchmarkB": {},
+			"BenchmarkC": {BytesPerOp: 500, AllocsPerOp: 5},
+			"BenchmarkD": {BytesPerOp: 1 << 20, AllocsPerOp: 999},
+		}
+		rows, failed := compare(base, results, opts)
+		if failed {
+			t.Fatal("unbaselined benchmark must not fail the gate")
+		}
+		last := rows[len(rows)-1]
+		if last.name != "BenchmarkD" || last.verdict != verdictNew {
+			t.Fatalf("last row = %+v, want BenchmarkD/new", last)
+		}
+	})
+}
+
+func TestRenderRowsMentionsEverything(t *testing.T) {
+	rows := []row{
+		{name: "BenchmarkA", base: measurement{1000, 10}, got: measurement{900, 9}, verdict: verdictOK},
+		{name: "BenchmarkB", base: measurement{10, 1}, got: measurement{9000, 1}, verdict: verdictFail, reasons: []string{"B/op 9000 > 10+15%+512"}},
+	}
+	out := renderRows(rows, "post_arena", options{regress: 0.15})
+	for _, want := range []string{"BenchmarkA", "BenchmarkB", "FAIL", "9000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -15,15 +15,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"adaptio/internal/block"
 	"adaptio/internal/cloudsim"
 	"adaptio/internal/experiments"
+	"adaptio/internal/loadgen"
 	"adaptio/internal/obs"
+	"adaptio/internal/tunnel"
 )
 
 func main() {
@@ -43,8 +50,17 @@ func main() {
 		seed      = flag.Uint64("seed", 2011, "random seed")
 		liveProf  = flag.Bool("live-profiles", false, "drive Table II with profiles measured live from this repo's codecs instead of the paper-derived reference")
 		csvDir    = flag.String("csv", "", "also write each experiment's raw data as CSV into this directory")
+		scenario  = flag.String("scenario", "", "run a named runtime scenario instead of the paper experiments: 'soak' (loadgen against an in-process bounded tunnel pair, docs/scaling.md)")
 	)
 	flag.Parse()
+
+	if *scenario != "" {
+		if *scenario != "soak" {
+			fmt.Fprintf(os.Stderr, "expdriver: unknown scenario %q (only 'soak')\n", *scenario)
+			os.Exit(2)
+		}
+		os.Exit(runSoak(*seed))
+	}
 
 	// Process-wide metrics: the experiments run in-process, so the buffer
 	// arena's counters summarize the run's data-plane churn. Printed at the
@@ -220,4 +236,103 @@ func main() {
 	if exitCode != 0 {
 		os.Exit(exitCode)
 	}
+}
+
+// runSoak is the `-scenario soak` entry point: the repeatable
+// soak/overload experiment of docs/scaling.md at expdriver scale — an
+// in-process echo sink behind a bounded entry/exit tunnel pair, hammered by
+// the seeded load generator. It returns the process exit code: non-zero on
+// broken transfers, zero completions, or leaked goroutines after drain.
+func runSoak(seed uint64) int {
+	reg := obs.NewRegistry()
+	block.PublishMetrics(reg.Scope("block"))
+
+	baseline := runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: echo sink: %v\n", err)
+		return 1
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+				if tc, ok := conn.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+			}()
+		}
+	}()
+
+	const (
+		workers  = 192
+		maxConns = 48
+	)
+	tcfg := tunnel.Config{Static: true, StaticLevel: 1, ShutdownGrace: 5 * time.Second}
+	exit, err := tunnel.ListenExit(context.Background(), "127.0.0.1:0", ln.Addr().String(), tcfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: exit: %v\n", err)
+		return 1
+	}
+	entryCfg := tcfg
+	entryCfg.MaxConns = maxConns
+	entryCfg.AcceptQueue = maxConns
+	entryCfg.Obs = reg.Scope("tunnel")
+	entry, err := tunnel.ListenEntry(context.Background(), "127.0.0.1:0", exit.Addr().String(), entryCfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: entry: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("Soak scenario: %d workers vs MaxConns=%d tunnel pair, 5 s, seed %d\n", workers, maxConns, seed)
+	report, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr:       entry.Addr().String(),
+		Conns:      workers,
+		Duration:   5 * time.Second,
+		Seed:       seed,
+		MinPayload: 2 << 10,
+		MaxPayload: 32 << 10,
+		Verify:     true,
+		Obs:        reg.Scope("loadgen"),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		return 1
+	}
+	fmt.Println(report.String())
+
+	entry.Close()
+	exit.Close()
+	ln.Close()
+	leaked := 0
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		leaked = runtime.NumGoroutine() - baseline
+		if leaked <= 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	fmt.Println("--- end-of-run process metrics ---")
+	fmt.Print(reg.RenderText())
+
+	switch {
+	case report.Completed == 0:
+		fmt.Println("soak: FAIL: zero completed cycles")
+		return 1
+	case report.Failed > 0:
+		fmt.Printf("soak: FAIL: %d broken transfers\n", report.Failed)
+		return 1
+	case leaked > 0:
+		fmt.Printf("soak: FAIL: %d goroutine(s) leaked after drain\n", leaked)
+		return 1
+	}
+	fmt.Println("soak: PASS")
+	return 0
 }

@@ -1,6 +1,7 @@
 package cloudsim
 
 import (
+	"errors"
 	"fmt"
 
 	"adaptio/internal/corpus"
@@ -76,7 +77,7 @@ func ReferenceProfiles() []CodecProfile {
 // profile (ratio 1 everywhere), all profiles valid.
 func ValidateLadder(profiles []CodecProfile) error {
 	if len(profiles) == 0 {
-		return fmt.Errorf("cloudsim: empty profile ladder")
+		return errors.New("cloudsim: empty profile ladder")
 	}
 	for i, p := range profiles {
 		if err := p.Validate(); err != nil {

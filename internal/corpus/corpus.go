@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 )
 
 // Kind selects a compressibility class.
@@ -80,6 +82,53 @@ func (k Kind) FileSize() int {
 
 // Kinds lists all compressibility classes in the paper's order.
 func Kinds() []Kind { return []Kind{High, Moderate, Low} }
+
+// ParseKind parses a compressibility-class name ("high", "moderate", "low",
+// case-insensitive; the paper file names work too).
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "high", "ptt5":
+		return High, nil
+	case "moderate", "alice29.txt", "text":
+		return Moderate, nil
+	case "low", "image.jpg", "jpeg":
+		return Low, nil
+	default:
+		return 0, fmt.Errorf("corpus: unknown kind %q (want high, moderate or low)", s)
+	}
+}
+
+// ParseMix parses a workload-mix spec into a weighted kind cycle for load
+// generation (cmd/acload -mix): a comma-separated list of kind names, each
+// optionally weighted with "=N" ("high,low" or "high=3,low=1"). The result
+// repeats each kind weight times, so uniform sampling over it reproduces
+// the requested ratio. An empty spec means all three classes, equally
+// weighted.
+func ParseMix(spec string) ([]Kind, error) {
+	if strings.TrimSpace(spec) == "" {
+		return Kinds(), nil
+	}
+	var mix []Kind
+	for _, part := range strings.Split(spec, ",") {
+		name, weightStr, weighted := strings.Cut(part, "=")
+		weight := 1
+		if weighted {
+			w, err := strconv.Atoi(strings.TrimSpace(weightStr))
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("corpus: bad mix weight %q in %q", weightStr, part)
+			}
+			weight = w
+		}
+		kind, err := ParseKind(name)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < weight; i++ {
+			mix = append(mix, kind)
+		}
+	}
+	return mix, nil
+}
 
 // rng is a splitmix64 generator: tiny, fast and stable across Go releases,
 // so corpus bytes are reproducible forever given (kind, seed).

@@ -285,3 +285,37 @@ func TestLowDataHasJPEGStuffing(t *testing.T) {
 		}
 	}
 }
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []corpus.Kind
+		ok   bool
+	}{
+		{"", corpus.Kinds(), true},
+		{"high,low", []corpus.Kind{corpus.High, corpus.Low}, true},
+		{"HIGH=2, moderate", []corpus.Kind{corpus.High, corpus.High, corpus.Moderate}, true},
+		{"low=3", []corpus.Kind{corpus.Low, corpus.Low, corpus.Low}, true},
+		{"ptt5,image.jpg", []corpus.Kind{corpus.High, corpus.Low}, true},
+		{"bogus", nil, false},
+		{"high=0", nil, false},
+		{"high=x", nil, false},
+	}
+	for _, c := range cases {
+		got, err := corpus.ParseMix(c.spec)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseMix(%q) err = %v, want ok=%v", c.spec, err, c.ok)
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("ParseMix(%q) = %v, want %v", c.spec, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ParseMix(%q)[%d] = %v, want %v", c.spec, i, got[i], c.want[i])
+			}
+		}
+	}
+}

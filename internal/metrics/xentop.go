@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -98,7 +99,7 @@ func ParseXentop(text string) ([]XentopDomain, error) {
 		domains = append(domains, d)
 	}
 	if cols == nil {
-		return nil, fmt.Errorf("metrics: xentop output has no NAME header")
+		return nil, errors.New("metrics: xentop output has no NAME header")
 	}
 	return domains, nil
 }

@@ -18,6 +18,15 @@
 // backoff and jitter, shutdown is bounded by a grace period, and every
 // failed connection direction reports a typed, wrapped error through
 // ConnStats.Err.
+//
+// Under heavy traffic the endpoint bounds its own resources (see
+// docs/scaling.md): Config.MaxConns caps concurrently served connections,
+// Config.AcceptQueue bounds how many more may wait for a slot, and
+// everything beyond that is shed — closed immediately and counted — so
+// goroutine and buffer demand stay O(MaxConns + AcceptQueue) no matter how
+// fast clients arrive. Endpoint.Close drains gracefully: stop accepting,
+// shed the queue, let in-flight relays finish within ShutdownGrace, then
+// force-close the rest.
 package tunnel
 
 import (
@@ -90,6 +99,15 @@ type Config struct {
 	// long to drain before being force-closed. Zero keeps the
 	// force-close-immediately behaviour.
 	ShutdownGrace time.Duration
+	// MaxConns bounds the number of concurrently served connections (each
+	// one costs a fixed set of relay goroutines and arena buffers). Zero
+	// means unlimited — the pre-scaling behaviour. See docs/scaling.md.
+	MaxConns int
+	// AcceptQueue bounds how many connections beyond MaxConns may wait
+	// for a relay slot before excess connections are shed (closed without
+	// service). Zero means no queue: once MaxConns are busy, every new
+	// connection sheds immediately. Ignored when MaxConns is zero.
+	AcceptQueue int
 	// WrapWire, if non-nil, wraps the wire-side (compressed) connection
 	// before the relay uses it. This is the seam the fault-injection
 	// tests use (internal/faultio.WrapConn); production configs leave it
@@ -107,18 +125,23 @@ type Config struct {
 // tunnelMetrics are an endpoint's instruments, resolved once per endpoint
 // so per-connection work never touches the registry.
 type tunnelMetrics struct {
-	connsTotal   *obs.Counter
-	connsActive  *obs.Gauge
-	dialAttempts *obs.Counter
-	dialRetries  *obs.Counter
-	dialFailures *obs.Counter
-	idleTimeouts *obs.Counter
-	txAppBytes   *obs.Counter // plain->wire direction, pre-compression
-	txWireBytes  *obs.Counter
-	txSwitches   *obs.Counter
-	rxAppBytes   *obs.Counter // wire->plain direction, post-decompression
-	rxWireBytes  *obs.Counter
-	rxBlocks     *obs.Counter
+	connsTotal    *obs.Counter
+	connsActive   *obs.Gauge
+	connsPeak     *obs.Gauge
+	connsAccepted *obs.Counter
+	connsShed     *obs.Counter
+	connsQueued   *obs.Gauge
+	queueWaitMs   *obs.Histogram
+	dialAttempts  *obs.Counter
+	dialRetries   *obs.Counter
+	dialFailures  *obs.Counter
+	idleTimeouts  *obs.Counter
+	txAppBytes    *obs.Counter // plain->wire direction, pre-compression
+	txWireBytes   *obs.Counter
+	txSwitches    *obs.Counter
+	rxAppBytes    *obs.Counter // wire->plain direction, post-decompression
+	rxWireBytes   *obs.Counter
+	rxBlocks      *obs.Counter
 	// streamScope is forwarded to every connection's stream.Writer, so
 	// all connections aggregate into one set of stream metrics.
 	streamScope *obs.Scope
@@ -129,19 +152,24 @@ func newTunnelMetrics(scope *obs.Scope) *tunnelMetrics {
 	dial := scope.Scope("dial")
 	relay := scope.Scope("relay")
 	return &tunnelMetrics{
-		connsTotal:   conns.Counter("total"),
-		connsActive:  conns.Gauge("active"),
-		dialAttempts: dial.Counter("attempts"),
-		dialRetries:  dial.Counter("retries"),
-		dialFailures: dial.Counter("failures"),
-		idleTimeouts: scope.Counter("idle_timeouts"),
-		txAppBytes:   relay.Counter("tx_app_bytes"),
-		txWireBytes:  relay.Counter("tx_wire_bytes"),
-		txSwitches:   relay.Counter("tx_level_switches"),
-		rxAppBytes:   relay.Counter("rx_app_bytes"),
-		rxWireBytes:  relay.Counter("rx_wire_bytes"),
-		rxBlocks:     relay.Counter("rx_blocks"),
-		streamScope:  scope.Scope("stream").Scope("writer"),
+		connsTotal:    conns.Counter("total"),
+		connsActive:   conns.Gauge("active"),
+		connsPeak:     conns.Gauge("peak"),
+		connsAccepted: conns.Counter("accepted"),
+		connsShed:     conns.Counter("shed"),
+		connsQueued:   conns.Gauge("queued"),
+		queueWaitMs:   conns.Histogram("queue_wait_ms", nil),
+		dialAttempts:  dial.Counter("attempts"),
+		dialRetries:   dial.Counter("retries"),
+		dialFailures:  dial.Counter("failures"),
+		idleTimeouts:  scope.Counter("idle_timeouts"),
+		txAppBytes:    relay.Counter("tx_app_bytes"),
+		txWireBytes:   relay.Counter("tx_wire_bytes"),
+		txSwitches:    relay.Counter("tx_level_switches"),
+		rxAppBytes:    relay.Counter("rx_app_bytes"),
+		rxWireBytes:   relay.Counter("rx_wire_bytes"),
+		rxBlocks:      relay.Counter("rx_blocks"),
+		streamScope:   scope.Scope("stream").Scope("writer"),
 	}
 }
 
@@ -224,39 +252,47 @@ func dialPeer(ctx context.Context, addr string, cfg Config, m *tunnelMetrics) (n
 
 // Endpoint is a running tunnel endpoint (entry or exit).
 type Endpoint struct {
-	ln     net.Listener
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
-	grace  time.Duration
+	ln        net.Listener
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	grace     time.Duration
+	admit     *admitter
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Addr returns the endpoint's listen address.
 func (e *Endpoint) Addr() net.Addr { return e.ln.Addr() }
 
-// Close stops accepting, gives active connections Config.ShutdownGrace to
-// drain (their peers see EOF), then force-closes whatever remains and waits
-// for every relay goroutine to exit. With a zero grace it force-closes
-// immediately.
+// Close drains the endpoint gracefully: it stops accepting, sheds every
+// connection still queued for a relay slot, gives in-flight relays
+// Config.ShutdownGrace to finish (their peers see EOF), then force-closes
+// whatever remains and waits for every relay goroutine to exit. With a zero
+// grace it force-closes immediately. Close is idempotent; concurrent and
+// repeated calls share one drain.
 func (e *Endpoint) Close() error {
-	err := e.ln.Close()
-	done := make(chan struct{})
-	go func() {
-		e.wg.Wait()
-		close(done)
-	}()
-	if e.grace > 0 {
-		t := time.NewTimer(e.grace)
-		select {
-		case <-done:
-			t.Stop()
-			e.cancel()
-			return err
-		case <-t.C:
+	e.closeOnce.Do(func() {
+		e.closeErr = e.ln.Close()
+		e.admit.drain()
+		done := make(chan struct{})
+		go func() {
+			e.wg.Wait()
+			close(done)
+		}()
+		if e.grace > 0 {
+			t := time.NewTimer(e.grace)
+			select {
+			case <-done:
+				t.Stop()
+				e.cancel()
+				return
+			case <-t.C:
+			}
 		}
-	}
-	e.cancel()
-	<-done
-	return err
+		e.cancel()
+		<-done
+	})
+	return e.closeErr
 }
 
 // halfCloser is the subset of *net.TCPConn the relay needs for half-close
@@ -286,8 +322,8 @@ func listen(ctx context.Context, listenAddr string, cfg Config, dialAddr string,
 		return nil, err
 	}
 	runCtx, cancel := context.WithCancel(ctx)
-	ep := &Endpoint{ln: ln, cancel: cancel, grace: cfg.ShutdownGrace}
 	m := newTunnelMetrics(cfg.Obs)
+	ep := &Endpoint{ln: ln, cancel: cancel, grace: cfg.ShutdownGrace, admit: newAdmitter(cfg, m)}
 	ep.wg.Add(1)
 	go func() {
 		defer ep.wg.Done()
@@ -299,35 +335,59 @@ func listen(ctx context.Context, listenAddr string, cfg Config, dialAddr string,
 				}
 				return
 			}
+			// Admission control (docs/scaling.md): the accept loop never
+			// blocks and never spawns a goroutine for a shed connection,
+			// so goroutine count is O(MaxConns + AcceptQueue) regardless
+			// of arrival rate.
+			decision := ep.admit.tryAdmit()
+			if decision == admitShed {
+				ep.admit.shed(conn)
+				continue
+			}
 			ep.wg.Add(1)
 			go func() {
 				defer ep.wg.Done()
-				peer, err := dialPeer(runCtx, dialAddr, cfg, m)
-				if err != nil {
-					cfg.logf("tunnel: %v", err)
-					conn.Close()
-					return
-				}
-				var plain, wire net.Conn
-				if acceptsPlain {
-					plain, wire = conn, peer
-				} else {
-					plain, wire = peer, conn
-				}
-				if cfg.WrapWire != nil {
-					wire = cfg.WrapWire(wire)
-				}
-				direction := "exit->entry"
-				if acceptsPlain {
-					direction = "entry->exit"
-				}
-				if relayErr := relay(runCtx, plain, wire, cfg, direction, m); relayErr != nil {
-					cfg.logf("tunnel: relay: %v", relayErr)
-				}
+				ep.serve(runCtx, conn, decision, dialAddr, cfg, acceptsPlain, m)
 			}()
 		}
 	}()
 	return ep, nil
+}
+
+// serve runs one admitted (or queued) connection to completion: wait for a
+// relay slot if queued, dial the peer, then relay until both directions
+// finish.
+func (e *Endpoint) serve(ctx context.Context, conn net.Conn, decision admitDecision, dialAddr string, cfg Config, acceptsPlain bool, m *tunnelMetrics) {
+	if decision == admitQueued {
+		if !e.admit.wait(ctx.Done()) {
+			e.admit.shed(conn)
+			return
+		}
+	}
+	defer e.admit.release()
+	m.connsAccepted.Inc()
+	peer, err := dialPeer(ctx, dialAddr, cfg, m)
+	if err != nil {
+		cfg.logf("tunnel: %v", err)
+		conn.Close()
+		return
+	}
+	var plain, wire net.Conn
+	if acceptsPlain {
+		plain, wire = conn, peer
+	} else {
+		plain, wire = peer, conn
+	}
+	if cfg.WrapWire != nil {
+		wire = cfg.WrapWire(wire)
+	}
+	direction := "exit->entry"
+	if acceptsPlain {
+		direction = "entry->exit"
+	}
+	if relayErr := relay(ctx, plain, wire, cfg, direction, m); relayErr != nil {
+		cfg.logf("tunnel: relay: %v", relayErr)
+	}
 }
 
 // idleConn applies Config.IdleTimeout as a rolling per-operation deadline:
@@ -384,6 +444,7 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 	defer wire.Close()
 	m.connsTotal.Inc()
 	m.connsActive.Add(1)
+	m.connsPeak.SetMax(m.connsActive.Value())
 	defer m.connsActive.Add(-1)
 
 	plainTCP, okP := plain.(halfCloser)
