@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short test-shape test-obs bench bench-alloc bench-compare alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
+.PHONY: all build test test-race test-short test-shape test-obs bench bench-alloc bench-compare bench-throughput bench-throughput-compare alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
 
 all: build test
 
@@ -48,6 +48,20 @@ bench-compare:
 	$(GO) test -run '^$$' -bench '^BenchmarkAlloc' -benchmem -benchtime=300x ./internal/... | tee bench_output.txt
 	$(GO) run ./cmd/benchdiff -baseline BENCH_alloc.json bench_output.txt
 
+# Data-plane throughput benchmarks (docs/performance.md): codec MB/s per
+# corpus kind, stream writer/reader end to end, tunnel relay. Compare
+# against the committed baseline in BENCH_throughput.json.
+bench-throughput:
+	$(GO) test -run '^$$' -bench '^BenchmarkThroughput' -benchtime=1s .
+
+# Throughput-regression gate: rerun the throughput benchmarks and fail if
+# any MB/s figure collapsed below the committed baseline's wide tolerance
+# (-mode throughput defaults to -regress 0.40; MB/s baselines are
+# machine-dependent, so the gate catches lost fast paths, not CPU drift).
+bench-throughput-compare:
+	$(GO) test -run '^$$' -bench '^BenchmarkThroughput' -benchtime=1s . | tee bench_throughput_output.txt
+	$(GO) run ./cmd/benchdiff -mode throughput -baseline BENCH_throughput.json bench_throughput_output.txt
+
 # The AllocsPerRun regression gates (serial round trip, presized decodes).
 alloc-gate:
 	$(GO) test -run 'AllocGate|Presized|ReleasesAllBuffers' -count=1 -v \
@@ -68,6 +82,7 @@ soak:
 
 fuzz:
 	$(GO) test -fuzz=FuzzFastRoundTrip -fuzztime=30s ./internal/compress/lzfast/
+	$(GO) test -fuzz=FuzzDecompressFast -fuzztime=30s ./internal/compress/lzfast/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/compress/lzheavy/
 	$(GO) test -fuzz=FuzzWriterChunking -fuzztime=30s ./internal/stream/
 	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=30s ./internal/stream/
@@ -81,6 +96,7 @@ fuzz-smoke:
 # Extended fuzz sessions of every target; what the nightly workflow runs.
 fuzz-nightly:
 	$(GO) test -fuzz=FuzzFastRoundTrip -fuzztime=5m ./internal/compress/lzfast/
+	$(GO) test -fuzz=FuzzDecompressFast -fuzztime=5m ./internal/compress/lzfast/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=5m ./internal/compress/lzheavy/
 	$(GO) test -fuzz=FuzzWriterChunking -fuzztime=5m ./internal/stream/
 	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=5m ./internal/stream/
@@ -95,4 +111,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_throughput_output.txt

@@ -12,7 +12,12 @@
 // Usage:
 //
 //	acprobe -live [-n samples] [-interval 1s] [-load netsend|netrecv|filewrite|fileread]
-//	acprobe [-gb N] [-seed N]
+//	acprobe [-gb N] [-seed N] [-json-out probe.json]
+//
+// -json-out (simulation mode only) additionally writes the Figure 2/3
+// throughput distributions as MB/s in the BENCH_throughput.json schema
+// (internal/benchfmt), so nightly artifacts are diffable against the
+// committed baseline.
 package main
 
 import (
@@ -22,8 +27,10 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
+	"adaptio/internal/benchfmt"
 	"adaptio/internal/experiments"
 	"adaptio/internal/ioload"
 	"adaptio/internal/metrics"
@@ -38,6 +45,7 @@ func main() {
 		load     = flag.String("load", "", "run an I/O load generator while sampling: netsend, netrecv, filewrite or fileread")
 		gb       = flag.Float64("gb", 50, "simulated data volume in GB")
 		seed     = flag.Uint64("seed", 2011, "simulation seed")
+		jsonOut  = flag.String("json-out", "", "also write Fig2/Fig3 distributions as a benchfmt JSON artifact to this path")
 	)
 	flag.Parse()
 
@@ -86,6 +94,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(experiments.RenderDist("Figure 3: file I/O throughput (write) in the VM", "MB/s", file))
+	if *jsonOut == "" {
+		return
+	}
+	art := &benchfmt.File{
+		Description: "acprobe Figure 2/3 simulated throughput distributions, mean MB/s per platform",
+		Go:          runtime.Version(),
+	}
+	for _, r := range net {
+		// Figure 2 samples are MBit/s; the artifact schema is MB/s.
+		art.Add("Fig2NetThroughput/"+r.Platform.String(), "current", benchfmt.Measurement{MBPerS: r.Summary.Mean / 8})
+	}
+	for _, r := range file {
+		art.Add("Fig3FileWrite/"+r.Platform.String(), "current", benchfmt.Measurement{MBPerS: r.Summary.Mean})
+	}
+	if err := benchfmt.WriteFile(*jsonOut, art); err != nil {
+		fmt.Fprintf(os.Stderr, "acprobe: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // startLoad launches one of the paper's auxiliary load generators in the

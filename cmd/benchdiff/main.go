@@ -1,7 +1,12 @@
-// Command benchdiff is the allocation perf-regression gate: it parses
-// `go test -bench -benchmem` output and compares every benchmark's B/op
-// and allocs/op against the committed baseline in BENCH_alloc.json,
-// failing (exit 1) when either regresses by more than the tolerance.
+// Command benchdiff is the perf-regression gate: it parses `go test -bench`
+// output and compares every benchmark against a committed baseline, failing
+// (exit 1) on regressions beyond a tolerance. It has two modes:
+//
+//   - `-mode alloc` (default) gates B/op and allocs/op against
+//     BENCH_alloc.json, as produced by `make bench-alloc`;
+//   - `-mode throughput` gates MB/s (and ns/op for benchmarks without a
+//     MB/s column) against BENCH_throughput.json, as produced by
+//     `make bench-throughput`.
 //
 // It exists because CI must not depend on tools outside the repository:
 // benchstat needs an install step, benchdiff is `go run ./cmd/benchdiff`.
@@ -9,9 +14,10 @@
 //	make bench-alloc | tee bench.txt
 //	go run ./cmd/benchdiff -baseline BENCH_alloc.json bench.txt
 //
-// or, as one target: `make bench-compare`. Reading from stdin works too.
+// or, as one target: `make bench-compare` / `make bench-throughput-compare`.
+// Reading from stdin works too.
 //
-// The pass rule, per metric (bytes and allocs independently):
+// The alloc pass rule, per metric (bytes and allocs independently):
 //
 //	new <= base*(1+regress) + slack
 //
@@ -22,12 +28,22 @@
 // bytes. Defaults: 512 B and 1 alloc. Baselines large enough to matter
 // are unaffected by the slack.
 //
-// When the same benchmark appears several times (multiple -count runs),
-// the minimum reading is kept — the gate measures the floor the code can
-// reach, not scheduler noise. Baseline benchmarks missing from the input
-// fail the gate (a silently skipped benchmark is a rotten gate) unless
-// -allow-missing is set; new benchmarks absent from the baseline are
-// reported but never fail.
+// The throughput pass rule:
+//
+//	new MB/s >= base MB/s * (1-regress)   (ns/op mirror-imaged when the
+//	                                       benchmark reports no MB/s)
+//
+// with a deliberately wider default tolerance (40%): wall-clock throughput
+// varies with the host CPU in a way allocation counts do not, so this gate
+// catches step-function regressions (a lost fast path, an accidental copy),
+// not single-digit drift — docs/performance.md discusses the calibration.
+//
+// When the same benchmark appears several times (multiple -count runs), the
+// best reading is kept — minimum for B/op, allocs/op and ns/op, maximum for
+// MB/s: the gate measures the floor the code can reach, not scheduler
+// noise. Baseline benchmarks missing from the input fail the gate (a
+// silently skipped benchmark is a rotten gate) unless -allow-missing is
+// set; new benchmarks absent from the baseline are reported but never fail.
 package main
 
 import (
@@ -44,22 +60,39 @@ import (
 	"strings"
 )
 
-// measurement is one benchmark's memory profile.
+// measurement is one benchmark's metrics. The json tags are shared with
+// internal/benchfmt, which is the schema of the committed baselines and of
+// the -json-out artifacts of cmd/realbench and cmd/acprobe.
 type measurement struct {
-	BytesPerOp  int64 `json:"bytes_per_op"`
-	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+
+	// which column families the parsed input line actually carried
+	// (baseline entries don't need these: absent fields decode to zero).
+	hasMem   bool
+	hasSpeed bool
 }
 
-// baselineFile mirrors BENCH_alloc.json. Each benchmark's entry maps set
-// names to measurements but may also carry string fields ("note"), so the
-// sets stay raw until the requested one is picked out.
+// baselineFile mirrors BENCH_alloc.json / BENCH_throughput.json. Each
+// benchmark's entry maps set names to measurements but may also carry
+// string fields ("note"), so the sets stay raw until the requested one is
+// picked out.
 type baselineFile struct {
 	Description string                                `json:"description"`
 	Benchmarks  map[string]map[string]json.RawMessage `json:"benchmarks"`
 }
 
-// options holds the gate tolerances.
+// gate modes.
+const (
+	modeAlloc      = "alloc"
+	modeThroughput = "throughput"
+)
+
+// options holds the gate mode and tolerances.
 type options struct {
+	mode         string
 	regress      float64 // multiplicative tolerance, e.g. 0.15
 	slackBytes   int64   // additive slack for B/op
 	slackAllocs  int64   // additive slack for allocs/op
@@ -70,14 +103,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
 	var (
+		mode         = flag.String("mode", modeAlloc, "gate mode: alloc (B/op, allocs/op) or throughput (MB/s, ns/op)")
 		baselinePath = flag.String("baseline", "BENCH_alloc.json", "committed baseline file")
 		set          = flag.String("set", "current", "which baseline set to compare against")
-		regress      = flag.Float64("regress", 0.15, "fail when B/op or allocs/op grow by more than this fraction")
+		regress      = flag.Float64("regress", -1, "tolerated regression fraction (default: 0.15 for alloc, 0.40 for throughput)")
 		slackBytes   = flag.Int64("slack-bytes", 512, "additive B/op slack (protects near-zero baselines from noise)")
 		slackAllocs  = flag.Int64("slack-allocs", 1, "additive allocs/op slack")
 		allowMissing = flag.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the input")
 	)
 	flag.Parse()
+	if *mode != modeAlloc && *mode != modeThroughput {
+		log.Fatalf("unknown -mode %q (want %q or %q)", *mode, modeAlloc, modeThroughput)
+	}
+	if *regress < 0 {
+		if *mode == modeThroughput {
+			*regress = 0.40
+		} else {
+			*regress = 0.15
+		}
+	}
 
 	var in io.Reader = os.Stdin
 	src := "stdin"
@@ -100,14 +144,14 @@ func main() {
 		log.Fatal(err)
 	}
 	if len(results) == 0 {
-		log.Fatalf("no benchmark lines with -benchmem output found in %s", src)
+		log.Fatalf("no benchmark result lines found in %s", src)
 	}
 
-	opts := options{regress: *regress, slackBytes: *slackBytes, slackAllocs: *slackAllocs, allowMissing: *allowMissing}
+	opts := options{mode: *mode, regress: *regress, slackBytes: *slackBytes, slackAllocs: *slackAllocs, allowMissing: *allowMissing}
 	rows, failed := compare(base, results, opts)
 	fmt.Print(renderRows(rows, *set, opts))
 	if failed {
-		log.Fatalf("FAIL: allocation regression beyond %.0f%% against %s %q", *regress*100, *baselinePath, *set)
+		log.Fatalf("FAIL: %s regression beyond %.0f%% against %s %q", *mode, *regress*100, *baselinePath, *set)
 	}
 	fmt.Printf("benchdiff: PASS (%d benchmarks within %.0f%% of %q)\n", len(rows), *regress*100, *set)
 }
@@ -140,13 +184,14 @@ func loadBaseline(path, set string) (map[string]measurement, error) {
 	return out, nil
 }
 
-// benchLine matches `go test -bench -benchmem` result lines, e.g.
+// benchLine matches `go test -bench` result lines, e.g.
 //
-//	BenchmarkAllocWriterSteady-8   300   5067 ns/op   0 B/op   0 allocs/op
+//	BenchmarkAllocWriterSteady-8   300   5067 ns/op   25882.51 MB/s   0 B/op   0 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
 
 // parseBench extracts {name -> measurement} from benchmark output. When a
-// benchmark repeats, the minimum of each metric is kept.
+// benchmark repeats, the best reading of each metric is kept: min for
+// B/op, allocs/op and ns/op; max for MB/s.
 func parseBench(r io.Reader) (map[string]measurement, error) {
 	out := map[string]measurement{}
 	sc := bufio.NewScanner(r)
@@ -158,7 +203,7 @@ func parseBench(r io.Reader) (map[string]measurement, error) {
 		}
 		name, rest := m[1], strings.Fields(m[2])
 		var cur measurement
-		found := 0
+		memCols := 0
 		for i := 1; i < len(rest); i++ {
 			v, err := strconv.ParseFloat(rest[i-1], 64)
 			if err != nil {
@@ -167,22 +212,44 @@ func parseBench(r io.Reader) (map[string]measurement, error) {
 			switch rest[i] {
 			case "B/op":
 				cur.BytesPerOp = int64(v)
-				found++
+				memCols++
 			case "allocs/op":
 				cur.AllocsPerOp = int64(v)
-				found++
+				memCols++
+			case "ns/op":
+				cur.NsPerOp = v
+				cur.hasSpeed = true
+			case "MB/s":
+				cur.MBPerS = v
+				cur.hasSpeed = true
 			}
 		}
-		if found < 2 {
-			continue // no -benchmem columns on this line
+		cur.hasMem = memCols == 2
+		if !cur.hasMem && !cur.hasSpeed {
+			continue // no recognized metric columns on this line
 		}
 		if prev, ok := out[name]; ok {
 			cur.BytesPerOp = min(cur.BytesPerOp, prev.BytesPerOp)
 			cur.AllocsPerOp = min(cur.AllocsPerOp, prev.AllocsPerOp)
+			cur.NsPerOp = minF(cur.NsPerOp, prev.NsPerOp)
+			cur.MBPerS = max(cur.MBPerS, prev.MBPerS)
+			cur.hasMem = cur.hasMem || prev.hasMem
+			cur.hasSpeed = cur.hasSpeed || prev.hasSpeed
 		}
 		out[name] = cur
 	}
 	return out, sc.Err()
+}
+
+// minF is min for float64 treating 0 as "unset" (a parsed ns/op is never 0).
+func minF(a, b float64) float64 {
+	if a == 0 {
+		return b
+	}
+	if b == 0 || a < b {
+		return a
+	}
+	return b
 }
 
 // verdicts a row can carry.
@@ -209,6 +276,12 @@ func exceeds(got, base int64, regress float64, slack int64) bool {
 	return got > limit
 }
 
+// belowFloor reports whether got falls below the throughput gate floor
+// `base*(1-regress)`.
+func belowFloor(got, base, regress float64) bool {
+	return got < base*(1-regress)
+}
+
 // compare evaluates every baseline benchmark against the parsed results
 // and reports whether the gate failed.
 func compare(base, results map[string]measurement, opts options) ([]row, bool) {
@@ -223,6 +296,12 @@ func compare(base, results map[string]measurement, opts options) ([]row, bool) {
 	for _, name := range names {
 		b := base[name]
 		got, ok := results[name]
+		if ok && opts.mode == modeAlloc && !got.hasMem {
+			ok = false // line had no -benchmem columns: nothing to gate
+		}
+		if ok && opts.mode == modeThroughput && !got.hasSpeed {
+			ok = false
+		}
 		if !ok {
 			r := row{name: name, base: b, verdict: verdictMissing}
 			if !opts.allowMissing {
@@ -233,11 +312,24 @@ func compare(base, results map[string]measurement, opts options) ([]row, bool) {
 			continue
 		}
 		r := row{name: name, base: b, got: got, verdict: verdictOK}
-		if exceeds(got.BytesPerOp, b.BytesPerOp, opts.regress, opts.slackBytes) {
-			r.reasons = append(r.reasons, fmt.Sprintf("B/op %d > %d+%.0f%%+%d", got.BytesPerOp, b.BytesPerOp, opts.regress*100, opts.slackBytes))
-		}
-		if exceeds(got.AllocsPerOp, b.AllocsPerOp, opts.regress, opts.slackAllocs) {
-			r.reasons = append(r.reasons, fmt.Sprintf("allocs/op %d > %d+%.0f%%+%d", got.AllocsPerOp, b.AllocsPerOp, opts.regress*100, opts.slackAllocs))
+		switch opts.mode {
+		case modeThroughput:
+			// Gate on MB/s when the baseline has it; fall back to ns/op
+			// for benchmarks without a bytes-per-op notion.
+			if b.MBPerS > 0 {
+				if belowFloor(got.MBPerS, b.MBPerS, opts.regress) {
+					r.reasons = append(r.reasons, fmt.Sprintf("MB/s %.1f < %.1f-%.0f%%", got.MBPerS, b.MBPerS, opts.regress*100))
+				}
+			} else if b.NsPerOp > 0 && got.NsPerOp > b.NsPerOp*(1+opts.regress) {
+				r.reasons = append(r.reasons, fmt.Sprintf("ns/op %.0f > %.0f+%.0f%%", got.NsPerOp, b.NsPerOp, opts.regress*100))
+			}
+		default: // alloc
+			if exceeds(got.BytesPerOp, b.BytesPerOp, opts.regress, opts.slackBytes) {
+				r.reasons = append(r.reasons, fmt.Sprintf("B/op %d > %d+%.0f%%+%d", got.BytesPerOp, b.BytesPerOp, opts.regress*100, opts.slackBytes))
+			}
+			if exceeds(got.AllocsPerOp, b.AllocsPerOp, opts.regress, opts.slackAllocs) {
+				r.reasons = append(r.reasons, fmt.Sprintf("allocs/op %d > %d+%.0f%%+%d", got.AllocsPerOp, b.AllocsPerOp, opts.regress*100, opts.slackAllocs))
+			}
 		}
 		if len(r.reasons) > 0 {
 			r.verdict = verdictFail
@@ -264,15 +356,26 @@ func compare(base, results map[string]measurement, opts options) ([]row, bool) {
 // renderRows formats the comparison as an aligned table.
 func renderRows(rows []row, set string, opts options) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "baseline set %q, tolerance +%.0f%%\n", set, opts.regress*100)
-	fmt.Fprintf(&sb, "%-34s %12s %12s %12s %12s  %s\n",
-		"benchmark", "base B/op", "got B/op", "base allocs", "got allocs", "verdict")
+	fmt.Fprintf(&sb, "baseline set %q, mode %s, tolerance %.0f%%\n", set, opts.mode, opts.regress*100)
+	if opts.mode == modeThroughput {
+		fmt.Fprintf(&sb, "%-44s %12s %12s %14s %14s  %s\n",
+			"benchmark", "base MB/s", "got MB/s", "base ns/op", "got ns/op", "verdict")
+	} else {
+		fmt.Fprintf(&sb, "%-44s %12s %12s %14s %14s  %s\n",
+			"benchmark", "base B/op", "got B/op", "base allocs", "got allocs", "verdict")
+	}
 	for _, r := range rows {
-		gb, ga := "-", "-"
-		if r.verdict != verdictMissing {
+		var bb, gb, ba, ga string
+		if opts.mode == modeThroughput {
+			bb, ba = fmtF(r.base.MBPerS, 2), fmtF(r.base.NsPerOp, 0)
+			gb, ga = fmtF(r.got.MBPerS, 2), fmtF(r.got.NsPerOp, 0)
+		} else {
+			bb, ba = strconv.FormatInt(r.base.BytesPerOp, 10), strconv.FormatInt(r.base.AllocsPerOp, 10)
 			gb, ga = strconv.FormatInt(r.got.BytesPerOp, 10), strconv.FormatInt(r.got.AllocsPerOp, 10)
 		}
-		bb, ba := strconv.FormatInt(r.base.BytesPerOp, 10), strconv.FormatInt(r.base.AllocsPerOp, 10)
+		if r.verdict == verdictMissing {
+			gb, ga = "-", "-"
+		}
 		if r.verdict == verdictNew {
 			bb, ba = "-", "-"
 		}
@@ -280,7 +383,15 @@ func renderRows(rows []row, set string, opts options) string {
 		if len(r.reasons) > 0 {
 			note += " (" + strings.Join(r.reasons, "; ") + ")"
 		}
-		fmt.Fprintf(&sb, "%-34s %12s %12s %12s %12s  %s\n", r.name, bb, gb, ba, ga, note)
+		fmt.Fprintf(&sb, "%-44s %12s %12s %14s %14s  %s\n", r.name, bb, gb, ba, ga, note)
 	}
 	return sb.String()
+}
+
+// fmtF renders a float metric, "-" when unset (zero).
+func fmtF(v float64, prec int) string {
+	if v == 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', prec, 64)
 }

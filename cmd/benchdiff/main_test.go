@@ -23,20 +23,85 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(got), got)
 	}
 	if m := got["BenchmarkAllocWriterSteady"]; m.BytesPerOp != 0 || m.AllocsPerOp != 0 {
-		t.Fatalf("WriterSteady = %+v, want zeros", m)
+		t.Fatalf("WriterSteady = %+v, want zero mem", m)
+	}
+	if m := got["BenchmarkAllocWriterSteady"]; m.NsPerOp != 5067 || m.MBPerS != 25882.51 || !m.hasSpeed {
+		t.Fatalf("WriterSteady = %+v, want ns/op 5067 and MB/s 25882.51", m)
 	}
 	// Repeated benchmark keeps the per-metric minimum: 550 B from the
-	// second run, 3 allocs from the first.
-	if m := got["BenchmarkAllocWriterChurn"]; m.BytesPerOp != 550 || m.AllocsPerOp != 3 {
-		t.Fatalf("WriterChurn = %+v, want {550 3}", m)
+	// second run, 3 allocs from the first, 90000 ns from the second.
+	if m := got["BenchmarkAllocWriterChurn"]; m.BytesPerOp != 550 || m.AllocsPerOp != 3 || m.NsPerOp != 90000 {
+		t.Fatalf("WriterChurn = %+v, want {550 3 90000}", m)
 	}
-	if _, ok := got["BenchmarkNotMem"]; ok {
-		t.Fatal("line without -benchmem columns must be skipped")
+	// A line without -benchmem columns still carries ns/op for the
+	// throughput gate, but is marked memless so the alloc gate treats it
+	// as missing.
+	if m, ok := got["BenchmarkNotMem"]; !ok || m.hasMem || !m.hasSpeed || m.NsPerOp != 1000 {
+		t.Fatalf("NotMem = %+v ok=%v, want speed-only measurement", m, ok)
 	}
+}
+
+func TestCompareAllocModeSkipsMemlessLines(t *testing.T) {
+	base := map[string]measurement{"BenchmarkA": {BytesPerOp: 100, AllocsPerOp: 1}}
+	results := map[string]measurement{"BenchmarkA": {NsPerOp: 50, hasSpeed: true}}
+	opts := options{mode: modeAlloc, regress: 0.15, slackBytes: 512, slackAllocs: 1}
+	rows, failed := compare(base, results, opts)
+	if !failed || rows[0].verdict != verdictMissing {
+		t.Fatalf("speed-only input must count as MISSING in alloc mode, got %+v", rows[0])
+	}
+}
+
+func TestCompareThroughputMode(t *testing.T) {
+	base := map[string]measurement{
+		"BenchmarkTPFast": {MBPerS: 1000, NsPerOp: 100000},
+		"BenchmarkTPNoMB": {NsPerOp: 5000},
+	}
+	opts := options{mode: modeThroughput, regress: 0.40}
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		results := map[string]measurement{
+			"BenchmarkTPFast": {MBPerS: 601, NsPerOp: 160000, hasSpeed: true},
+			"BenchmarkTPNoMB": {NsPerOp: 6999, hasSpeed: true},
+		}
+		if rows, failed := compare(base, results, opts); failed {
+			t.Fatalf("gate failed, rows: %+v", rows)
+		}
+	})
+
+	t.Run("MB/s collapse fails", func(t *testing.T) {
+		results := map[string]measurement{
+			"BenchmarkTPFast": {MBPerS: 400, NsPerOp: 100000, hasSpeed: true},
+			"BenchmarkTPNoMB": {NsPerOp: 5000, hasSpeed: true},
+		}
+		rows, failed := compare(base, results, opts)
+		if !failed || rows[0].verdict != verdictFail {
+			t.Fatalf("40%% MB/s loss must fail, rows: %+v", rows)
+		}
+	})
+
+	t.Run("ns/op fallback gates MB/s-less benchmarks", func(t *testing.T) {
+		results := map[string]measurement{
+			"BenchmarkTPFast": {MBPerS: 1000, hasSpeed: true},
+			"BenchmarkTPNoMB": {NsPerOp: 8000, hasSpeed: true},
+		}
+		if _, failed := compare(base, results, opts); !failed {
+			t.Fatal("60% ns/op growth must fail the ns fallback gate")
+		}
+	})
+
+	t.Run("mem-only line counts as missing", func(t *testing.T) {
+		results := map[string]measurement{
+			"BenchmarkTPFast": {MBPerS: 1000, hasSpeed: true},
+			"BenchmarkTPNoMB": {BytesPerOp: 1, AllocsPerOp: 1, hasMem: true},
+		}
+		if _, failed := compare(base, results, opts); !failed {
+			t.Fatal("input without speed columns must count as missing")
+		}
+	})
 }
 
 func TestExceeds(t *testing.T) {
@@ -153,13 +218,22 @@ func TestCompareVerdicts(t *testing.T) {
 
 func TestRenderRowsMentionsEverything(t *testing.T) {
 	rows := []row{
-		{name: "BenchmarkA", base: measurement{1000, 10}, got: measurement{900, 9}, verdict: verdictOK},
-		{name: "BenchmarkB", base: measurement{10, 1}, got: measurement{9000, 1}, verdict: verdictFail, reasons: []string{"B/op 9000 > 10+15%+512"}},
+		{name: "BenchmarkA", base: measurement{BytesPerOp: 1000, AllocsPerOp: 10}, got: measurement{BytesPerOp: 900, AllocsPerOp: 9}, verdict: verdictOK},
+		{name: "BenchmarkB", base: measurement{BytesPerOp: 10, AllocsPerOp: 1}, got: measurement{BytesPerOp: 9000, AllocsPerOp: 1}, verdict: verdictFail, reasons: []string{"B/op 9000 > 10+15%+512"}},
 	}
 	out := renderRows(rows, "post_arena", options{regress: 0.15})
 	for _, want := range []string{"BenchmarkA", "BenchmarkB", "FAIL", "9000"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+	tp := []row{
+		{name: "BenchmarkTP", base: measurement{MBPerS: 1000, NsPerOp: 100}, got: measurement{MBPerS: 450.5, NsPerOp: 222}, verdict: verdictFail, reasons: []string{"MB/s 450.5 < 1000.0-40%"}},
+	}
+	out = renderRows(tp, "current", options{mode: modeThroughput, regress: 0.40})
+	for _, want := range []string{"BenchmarkTP", "450.50", "1000.00", "FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("throughput render output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -8,25 +8,33 @@
 //
 // Usage:
 //
-//	realbench [-mb 24] [-wires 80,11] [-window 50ms]
+//	realbench [-mb 24] [-wires 80,11] [-window 50ms] [-json-out cells.json]
+//
+// -json-out additionally writes every cell's application-level MB/s in the
+// BENCH_throughput.json schema (internal/benchfmt), so soak and nightly
+// artifacts are directly diffable against the committed throughput
+// baseline with cmd/benchdiff or plain git diff.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"adaptio/internal/benchfmt"
 	"adaptio/internal/experiments"
 )
 
 func main() {
 	var (
-		mb     = flag.Int64("mb", 24, "volume per cell in MiB")
-		wires  = flag.String("wires", "80,11", "comma-separated wire rates in MB/s")
-		window = flag.Duration("window", 50*time.Millisecond, "decision window t")
+		mb      = flag.Int64("mb", 24, "volume per cell in MiB")
+		wires   = flag.String("wires", "80,11", "comma-separated wire rates in MB/s")
+		window  = flag.Duration("window", 50*time.Millisecond, "decision window t")
+		jsonOut = flag.String("json-out", "", "also write cells as a benchfmt JSON artifact to this path")
 	)
 	flag.Parse()
 
@@ -49,4 +57,22 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(experiments.RenderRealTableII(cells))
+	if *jsonOut == "" {
+		return
+	}
+	art := &benchfmt.File{
+		Description: "realbench Table II cells: application-level MB/s per (corpus, wire rate, scheme) over a real rate-limited loopback",
+		Go:          runtime.Version(),
+	}
+	for _, c := range cells {
+		name := fmt.Sprintf("RealTableII/%s/wire%g/%s", c.Kind, c.WireMBps, c.Scheme)
+		art.Add(name, "current", benchfmt.Measurement{
+			MBPerS:  c.AppMBps,
+			NsPerOp: c.Seconds * 1e9,
+		})
+	}
+	if err := benchfmt.WriteFile(*jsonOut, art); err != nil {
+		fmt.Fprintf(os.Stderr, "realbench: %v\n", err)
+		os.Exit(1)
+	}
 }

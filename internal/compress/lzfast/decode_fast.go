@@ -1,0 +1,161 @@
+package lzfast
+
+// This file holds the production block decoder: an LZ4-style fast loop that
+// decodes into a pre-extended output window instead of the reference
+// decoder's per-byte appends. The token grammar is unchanged —
+// decompressBlockRef in lzfast.go remains the executable specification, and
+// the differential tests (TestDecompressDifferential, FuzzDecompressFast)
+// pin this decoder to it: identical output on every valid block, agreement
+// on accept/reject for every malformed one.
+//
+// Copy strategy per sequence:
+//
+//   - short runs (<= wildCopyShort bytes) take a branchless pair of 16-byte
+//     "wild" copies that may overshoot the exact length — this is where the
+//     decode time of match-dense corpora goes;
+//   - long runs take a single exact copy (one memmove), which beats a
+//     strided chunk loop on multi-KB literal runs of high-entropy data;
+//   - overlapping matches (offset < mlen) take expandCopy, which doubles
+//     the replicated region in O(log(mlen/offset)) memmoves instead of a
+//     byte-at-a-time loop.
+//
+// # Safety-margin invariants
+//
+// A wild pair writes exactly wildCopyShort bytes from the write frontier d
+// (and reads wildCopyShort bytes from its source), overshooting the true
+// length by up to wildCopyShort-1 bytes. It is only taken when the
+// overshoot provably stays inside the buffers:
+//
+//   - literal wild copy: s+wildCopyShort <= len(src) (source overread) and
+//     d+wildCopyShort <= size (destination overwrite);
+//   - match wild copy: additionally offset >= wildCopyMargin, so the first
+//     chunk's source lies entirely behind the write frontier (fully
+//     decoded); the second chunk may read the first chunk's output, which
+//     is already final;
+//   - overshoot bytes are garbage but always lie at or ahead of the write
+//     frontier d, and the final length check (d == size) guarantees every
+//     byte of the window is overwritten by a later sequence or was exact.
+//
+// Sequences that cannot respect the margin — near the block or input tail —
+// fall back to exact copies, so no byte outside dst[start:start+size] is
+// ever touched.
+
+import "encoding/binary"
+
+const (
+	// wildCopyMargin is the chunk size of copy16; a match wild copy
+	// requires offset >= wildCopyMargin so chunk sources are decoded.
+	wildCopyMargin = 16
+	// wildCopyShort is the run-length cutoff for the wild-copy pair; it
+	// is also exactly how many bytes a wild pair writes.
+	wildCopyShort = 32
+)
+
+// copy16 copies exactly 16 bytes as two 8-byte loads/stores.
+func copy16(dst, src []byte) {
+	binary.LittleEndian.PutUint64(dst[0:8], binary.LittleEndian.Uint64(src[0:8]))
+	binary.LittleEndian.PutUint64(dst[8:16], binary.LittleEndian.Uint64(src[8:16]))
+}
+
+// expandCopy replicates the offset-periodic pattern ending at buf[d] over
+// buf[d:d+mlen] for an overlapping match (offset < mlen): it copies the
+// first period exactly, then doubles the replicated region, capping every
+// copy at mlen. No overshoot, so it needs no margin.
+func expandCopy(buf []byte, d, offset, mlen int) {
+	copy(buf[d:d+offset], buf[d-offset:d])
+	for n := offset; n < mlen; n *= 2 {
+		copy(buf[d+n:d+mlen], buf[d:d+n])
+	}
+}
+
+// decompressBlock decodes one block, appending to dst. It accepts exactly
+// the blocks decompressBlockRef accepts and produces identical bytes; only
+// the copy strategy differs.
+func decompressBlock(dst, src []byte, decompressedSize int) ([]byte, error) {
+	if decompressedSize < 0 {
+		return dst, corrupt("negative declared size %d", decompressedSize)
+	}
+	start := len(dst)
+	if cap(dst)-start < decompressedSize {
+		grown := make([]byte, start, start+decompressedSize)
+		copy(grown, dst)
+		dst = grown
+	}
+	// out is the full output window; d is the write frontier within it.
+	out := dst[start : start+decompressedSize]
+	d := 0
+	s := 0
+	for s < len(src) {
+		token := src[s]
+		s++
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			ext, n, err := readExtLength(src, s)
+			if err != nil {
+				return dst[:start+d], err
+			}
+			litLen += ext
+			s += n
+		}
+		if s+litLen > len(src) {
+			return dst[:start+d], corrupt("literal run of %d overruns input", litLen)
+		}
+		if d+litLen > decompressedSize {
+			return dst[:start+d], corrupt("output exceeds declared size %d", decompressedSize)
+		}
+		if litLen > 0 {
+			if litLen <= wildCopyShort && s+wildCopyShort <= len(src) && d+wildCopyShort <= decompressedSize {
+				copy16(out[d:], src[s:])
+				copy16(out[d+16:], src[s+16:])
+			} else {
+				copy(out[d:d+litLen], src[s:s+litLen])
+			}
+			d += litLen
+			s += litLen
+		}
+		if s == len(src) {
+			break // final literals-only sequence
+		}
+		if s+2 > len(src) {
+			return dst[:start+d], corrupt("truncated match offset")
+		}
+		offset := int(src[s]) | int(src[s+1])<<8
+		s += 2
+		if offset == 0 {
+			return dst[:start+d], corrupt("zero match offset")
+		}
+		mlen := int(token & 0x0f)
+		if mlen == 15 {
+			ext, n, err := readExtLength(src, s)
+			if err != nil {
+				return dst[:start+d], err
+			}
+			mlen += ext
+			s += n
+		}
+		mlen += minMatch
+		if offset > d {
+			return dst[:start+d], corrupt("match offset %d exceeds produced bytes %d", offset, d)
+		}
+		if d+mlen > decompressedSize {
+			return dst[:start+d], corrupt("match output exceeds declared size %d", decompressedSize)
+		}
+		if offset >= mlen {
+			// Non-overlapping match.
+			if mlen <= wildCopyShort && offset >= wildCopyMargin && d+wildCopyShort <= decompressedSize {
+				copy16(out[d:], out[d-offset:])
+				copy16(out[d+16:], out[d-offset+16:])
+			} else {
+				copy(out[d:d+mlen], out[d-offset:d-offset+mlen])
+			}
+		} else {
+			// Overlapping match (offset==1 is the RLE case).
+			expandCopy(out, d, offset, mlen)
+		}
+		d += mlen
+	}
+	if d != decompressedSize {
+		return dst[:start+d], corrupt("decoded %d bytes, declared %d", d, decompressedSize)
+	}
+	return dst[:start+decompressedSize], nil
+}

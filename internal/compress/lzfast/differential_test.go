@@ -1,0 +1,118 @@
+package lzfast_test
+
+// Differential tests pinning the production fast-path decoder
+// (decode_fast.go) to the retained reference decoder: on every input —
+// valid blocks from both encoders over all corpus kinds and sizes, plus
+// random truncation and corruption mutants — the two decoders must agree on
+// accept/reject, and on accept produce byte-identical output. Error
+// messages may differ; acceptance may not.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"adaptio/internal/compress/lzfast"
+	"adaptio/internal/corpus"
+)
+
+// diffCodecs are the encoder configurations whose output feeds the
+// decoders under test.
+var diffCodecs = []interface {
+	Compress(dst, src []byte) []byte
+	Name() string
+}{
+	lzfast.Fast{},
+	lzfast.HC{},
+	lzfast.HC{Depth: 4},
+}
+
+// checkDecodersAgree runs both decoders over one input and fails on any
+// acceptance or output divergence.
+func checkDecodersAgree(t *testing.T, comp []byte, size int) {
+	t.Helper()
+	refOut, refErr := lzfast.DecompressRef(nil, comp, size)
+	fastOut, fastErr := lzfast.DecompressFast(nil, comp, size)
+	if (refErr == nil) != (fastErr == nil) {
+		t.Fatalf("decoder acceptance diverges for size %d: ref err=%v, fast err=%v", size, refErr, fastErr)
+	}
+	if refErr == nil && !bytes.Equal(refOut, fastOut) {
+		t.Fatalf("decoder output diverges for size %d: ref %d bytes, fast %d bytes", size, len(refOut), len(fastOut))
+	}
+}
+
+func TestDecompressDifferentialCorpus(t *testing.T) {
+	kinds := []corpus.Kind{corpus.High, corpus.Moderate, corpus.Low}
+	// Sizes probe both sides of the wild-copy margins: empty, shorter than
+	// one chunk, exactly one chunk, around block boundaries.
+	sizes := []int{0, 1, 15, 16, 17, 31, 32, 33, 64, 1 << 12, 1 << 16, 128 << 10, (128 << 10) + 17}
+	for _, c := range diffCodecs {
+		for _, kind := range kinds {
+			for _, n := range sizes {
+				src := corpus.Generate(kind, n, 7)
+				comp := c.Compress(nil, src)
+				fastOut, err := lzfast.DecompressFast(nil, comp, n)
+				if err != nil {
+					t.Fatalf("%s/%s/%d: fast decoder rejected valid block: %v", c.Name(), kind, n, err)
+				}
+				if !bytes.Equal(fastOut, src) {
+					t.Fatalf("%s/%s/%d: fast decoder round-trip mismatch", c.Name(), kind, n)
+				}
+				checkDecodersAgree(t, comp, n)
+			}
+		}
+	}
+}
+
+func TestDecompressDifferentialMutants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2011))
+	base := corpus.Generate(corpus.Moderate, 1<<14, 3)
+	// An all-zero block exercises offset==1 RLE sequences with maximal
+	// extension lengths.
+	rle := make([]byte, 1<<14)
+	for _, src := range [][]byte{base, rle} {
+		for _, c := range diffCodecs {
+			comp := c.Compress(nil, src)
+			for trial := 0; trial < 400; trial++ {
+				mut := append([]byte(nil), comp...)
+				switch trial % 3 {
+				case 0: // truncate at a random point
+					mut = mut[:rng.Intn(len(mut)+1)]
+				case 1: // flip a random byte
+					mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+				default: // truncate and corrupt the new tail
+					mut = mut[:1+rng.Intn(len(mut))]
+					mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+				}
+				// Also vary the declared size around the truth.
+				size := len(src)
+				switch trial % 5 {
+				case 3:
+					size = rng.Intn(len(src) + 1)
+				case 4:
+					size = len(src) + 1 + rng.Intn(64)
+				}
+				checkDecodersAgree(t, mut, size)
+			}
+		}
+	}
+}
+
+// TestDecompressDifferentialAppend verifies both decoders agree when
+// appending to a non-empty dst (the stream Reader's usage).
+func TestDecompressDifferentialAppend(t *testing.T) {
+	src := corpus.Generate(corpus.Moderate, 1<<12, 5)
+	comp := lzfast.Fast{}.Compress(nil, src)
+	prefix := []byte("prefix-already-present")
+	refOut, refErr := lzfast.DecompressRef(append([]byte(nil), prefix...), comp, len(src))
+	fastOut, fastErr := lzfast.DecompressFast(append([]byte(nil), prefix...), comp, len(src))
+	if refErr != nil || fastErr != nil {
+		t.Fatalf("unexpected errors: ref=%v fast=%v", refErr, fastErr)
+	}
+	if !bytes.Equal(refOut, fastOut) {
+		t.Fatal("append-mode outputs diverge")
+	}
+	if !bytes.HasPrefix(fastOut, prefix) || !bytes.HasSuffix(fastOut, src) {
+		t.Fatal("append-mode output does not preserve prefix + decoded block")
+	}
+}

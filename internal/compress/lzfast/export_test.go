@@ -1,0 +1,8 @@
+package lzfast
+
+// Test-only exports: the differential tests pin the production fast-path
+// decoder to the retained reference implementation.
+var (
+	DecompressFast = decompressBlock
+	DecompressRef  = decompressBlockRef
+)

@@ -31,6 +31,51 @@ func FuzzFastRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzDecompressFast differentially fuzzes the production fast-path decoder
+// against the reference decoder: any input where they disagree on
+// acceptance, or accept with different output, is a bug. The seeds (also
+// committed under testdata/fuzz/FuzzDecompressFast) straddle the
+// fast/careful path boundary: sequences ending exactly at the wild-copy
+// safety margin, max-extension length runs, and offset==1 RLE.
+func FuzzDecompressFast(f *testing.F) {
+	// A match ending exactly 32 bytes (one wild pair) before the block
+	// end, followed by final literals filling the margin — and the same
+	// block with the boundary shifted by one either way.
+	pattern := bytes.Repeat([]byte("abcdefgh"), 16)
+	tail := corpus.Generate(corpus.Low, 33, 9)
+	for i := 31; i <= 33; i++ {
+		src := append(append([]byte(nil), pattern...), tail[:i]...)
+		f.Add(lzfast.Fast{}.Compress(nil, src), len(src))
+	}
+	// offset==1 RLE with a maximal extension run.
+	zeros := make([]byte, 70000)
+	f.Add(lzfast.Fast{}.Compress(nil, zeros), len(zeros))
+	// One giant literal run (incompressible input): extension bytes of
+	// 255 on the literal side.
+	noise := corpus.Generate(corpus.Low, 4096, 11)
+	f.Add(lzfast.Fast{}.Compress(nil, noise), len(noise))
+	// Truncated and size-skewed variants so error paths seed too.
+	rle := lzfast.Fast{}.Compress(nil, zeros)
+	f.Add(rle[:len(rle)-3], len(zeros))
+	f.Add(rle, len(zeros)-1)
+	f.Fuzz(func(t *testing.T, data []byte, size int) {
+		if size < 0 || size > 1<<20 {
+			size %= 1 << 20
+			if size < 0 {
+				size = -size
+			}
+		}
+		refOut, refErr := lzfast.DecompressRef(nil, data, size)
+		fastOut, fastErr := lzfast.DecompressFast(nil, data, size)
+		if (refErr == nil) != (fastErr == nil) {
+			t.Fatalf("acceptance diverges: ref err=%v, fast err=%v", refErr, fastErr)
+		}
+		if refErr == nil && !bytes.Equal(refOut, fastOut) {
+			t.Fatal("decoded output diverges")
+		}
+	})
+}
+
 func FuzzFastDecompressArbitrary(f *testing.F) {
 	f.Add([]byte{0x00}, 10)
 	f.Add([]byte{0xF0, 1, 2, 3}, 4)

@@ -28,6 +28,7 @@ package lzfast
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
 
 	"adaptio/internal/compress"
@@ -149,14 +150,40 @@ func appendExtLength(dst []byte, rest int) []byte {
 	return append(dst, byte(rest))
 }
 
+// fastState pools the fast-mode hash table across compressFast calls.
+// Instead of clearing the table per call, entries are generation-stamped by
+// a monotonically increasing base: the table stores base+position, and a
+// stored value decodes to a valid candidate only when stored-base >= 0, i.e.
+// only when it was written during the current call. base advances by
+// len(src) after each call, retiring every entry at once, so the 64 KB
+// clear loop disappears while candidate resolution stays byte-for-byte
+// identical to a freshly -1-initialized table. The table stays int32 (cache
+// footprint matters more than stamp range); when base approaches int32
+// overflow the table is cleared once and base rewinds — a per-~2GB event.
+type fastState struct {
+	table [1 << hashLog]int32
+	base  int32
+}
+
+// newFastState starts base at 1 so that the zero-valued table decodes every
+// entry to a negative (invalid) candidate on first use.
+func newFastState() *fastState { return &fastState{base: 1} }
+
+var fastPool = sync.Pool{New: func() any { return newFastState() }}
+
 func compressFast(dst, src []byte) []byte {
 	if len(src) < minMatch+1 {
 		return emitSequence(dst, src, 0, 0)
 	}
-	var table [1 << hashLog]int32
-	for i := range table {
-		table[i] = -1
+	st := fastPool.Get().(*fastState)
+	defer fastPool.Put(st)
+	if int64(st.base)+int64(len(src)) >= math.MaxInt32 {
+		st.table = [1 << hashLog]int32{}
+		st.base = 1
 	}
+	base := st.base
+	st.base += int32(len(src)) // retire this call's entries for the next user
+	table := &st.table
 	anchor := 0
 	i := 0
 	// Leave room so that a match can always be extended and the final
@@ -165,8 +192,8 @@ func compressFast(dst, src []byte) []byte {
 	misses := 0
 	for i <= mfLimit {
 		h := hash4(load32(src, i), hashLog)
-		cand := int(table[h])
-		table[h] = int32(i)
+		cand := int(table[h] - base)
+		table[h] = base + int32(i)
 		if cand >= 0 && i-cand <= maxOffset && load32(src, cand) == load32(src, i) {
 			mlen := minMatch + matchLen(src, cand+minMatch, i+minMatch)
 			dst = emitSequence(dst, src[anchor:i], i-cand, mlen)
@@ -175,7 +202,7 @@ func compressFast(dst, src []byte) []byte {
 			if i+mlen <= mfLimit {
 				mid := i + mlen/2
 				if mid != i && mid <= mfLimit {
-					table[hash4(load32(src, mid), hashLog)] = int32(mid)
+					table[hash4(load32(src, mid), hashLog)] = base + int32(mid)
 				}
 			}
 			i += mlen
@@ -205,6 +232,42 @@ type hcState struct {
 
 var hcPool = sync.Pool{New: func() any { return new(hcState) }}
 
+// insert links position pos into the hash chain for its 4-byte prefix.
+// Being a method (not a closure over compressHC locals) lets the compiler
+// inline it into the parse loop.
+func (st *hcState) insert(src []byte, pos int) {
+	h := hash4(load32(src, pos), hcHashLog)
+	st.prev[pos] = st.head[h]
+	st.head[h] = int32(pos)
+}
+
+// bestMatch returns the longest match for position i, examining at most
+// depth chain entries. Ties prefer the smaller offset.
+func (st *hcState) bestMatch(src []byte, i, depth int) (bLen, bOff int) {
+	cand := int(st.head[hash4(load32(src, i), hcHashLog)])
+	prev := st.prev
+	for d := 0; d < depth && cand >= 0; d++ {
+		if i-cand > maxOffset {
+			break
+		}
+		if bLen == 0 || (i+bLen < len(src) && src[cand+bLen] == src[i+bLen]) {
+			if l := matchLen(src, cand, i); l >= minMatch && l > bLen {
+				bLen, bOff = l, i-cand
+			}
+		}
+		cand = int(prev[cand])
+	}
+	return bLen, bOff
+}
+
+// hcSkipShift controls HC's skip acceleration: after 1<<hcSkipShift
+// consecutive positions without a match the step starts growing, bounding
+// worst-case time on high-entropy runs. It is one notch more conservative
+// than the fast path's shift (7 vs 6) because HC's job is ratio: skipped
+// positions are neither probed nor inserted, so ramping too early would
+// cost matches on barely-compressible data.
+const hcSkipShift = 7
+
 func compressHC(dst, src []byte, depth int) []byte {
 	if len(src) < minMatch+1 {
 		return emitSequence(dst, src, 0, 0)
@@ -218,43 +281,24 @@ func compressHC(dst, src []byte, depth int) []byte {
 	if cap(st.prev) < len(src) {
 		st.prev = make([]int32, len(src))
 	}
-	prev := st.prev[:len(src)]
-	insert := func(pos int) {
-		h := hash4(load32(src, pos), hcHashLog)
-		prev[pos] = head[h]
-		head[h] = int32(pos)
-	}
-	// bestMatch returns the longest match for position i, examining at
-	// most depth chain entries. Ties prefer the smaller offset.
-	bestMatch := func(i int) (bLen, bOff int) {
-		cand := int(head[hash4(load32(src, i), hcHashLog)])
-		for d := 0; d < depth && cand >= 0; d++ {
-			if i-cand > maxOffset {
-				break
-			}
-			if bLen == 0 || (i+bLen < len(src) && src[cand+bLen] == src[i+bLen]) {
-				if l := matchLen(src, cand, i); l >= minMatch && l > bLen {
-					bLen, bOff = l, i-cand
-				}
-			}
-			cand = int(prev[cand])
-		}
-		return bLen, bOff
-	}
+	st.prev = st.prev[:len(src)]
 	anchor := 0
 	i := 0
 	mfLimit := len(src) - minMatch
+	misses := 0
 	for i <= mfLimit {
-		mlen, moff := bestMatch(i)
-		insert(i)
+		mlen, moff := st.bestMatch(src, i, depth)
+		st.insert(src, i)
 		if mlen == 0 {
-			i++
+			misses++
+			i += 1 + misses>>hcSkipShift
 			continue
 		}
+		misses = 0
 		// One-step lazy matching: if the next position yields a
 		// sufficiently longer match, emit this position as a literal.
 		if i+1 <= mfLimit {
-			nlen, _ := bestMatch(i + 1)
+			nlen, _ := st.bestMatch(src, i+1, depth)
 			if nlen > mlen+1 {
 				i++
 				continue // position i becomes a literal; i+1 reconsidered
@@ -266,7 +310,7 @@ func compressHC(dst, src []byte, depth int) []byte {
 		dst = emitSequence(dst, src[anchor:i], moff, mlen)
 		end := i + mlen
 		for p := i + 1; p < end && p <= mfLimit; p++ {
-			insert(p)
+			st.insert(src, p)
 		}
 		i = end
 		anchor = i
@@ -278,8 +322,12 @@ func corrupt(format string, args ...any) error {
 	return fmt.Errorf("%w: lzfast: %s", compress.ErrCorrupt, fmt.Sprintf(format, args...))
 }
 
-// decompressBlock decodes one block, appending to dst.
-func decompressBlock(dst, src []byte, decompressedSize int) ([]byte, error) {
+// decompressBlockRef is the retained reference decoder: straightforward
+// append-based decoding with per-step bounds checks. The production decoder
+// (decompressBlock in decode_fast.go) must accept exactly the inputs this
+// one accepts and produce identical bytes; the differential tests and
+// FuzzDecompressFast enforce that. Keep this implementation boring.
+func decompressBlockRef(dst, src []byte, decompressedSize int) ([]byte, error) {
 	if decompressedSize < 0 {
 		return dst, corrupt("negative declared size %d", decompressedSize)
 	}

@@ -584,13 +584,19 @@ func (Codec) Decompress(dst, src []byte, decompressedSize int) ([]byte, error) {
 	prevOp := 0
 	var reps [4]int
 	var prevByte byte
-	for len(dst)-start < decompressedSize {
+	// out is the pre-extended output window, d its write frontier: index
+	// writes instead of per-byte appends keep the literal-heavy decode
+	// loop free of append bookkeeping. The range coder is untouched.
+	out := dst[start : start+decompressedSize]
+	d := 0
+	for d < decompressedSize {
 		if dec.pos > len(src)+phantomSlack {
-			return dst, corrupt("input exhausted after %d of %d declared bytes", len(dst)-start, decompressedSize)
+			return dst[:start+d], corrupt("input exhausted after %d of %d declared bytes", d, decompressedSize)
 		}
 		if dec.decodeBit(&p.isMatch[prevOp]) == 0 {
 			b := byte(dec.decodeTree(p.lit[litContext(prevByte)][:], 8))
-			dst = append(dst, b)
+			out[d] = b
+			d++
 			prevByte = b
 			prevOp = 0
 			continue
@@ -622,26 +628,29 @@ func (Codec) Decompress(dst, src []byte, decompressedSize int) ([]byte, error) {
 				length = dec.decodeLength(&p.lenR)
 			}
 			if dist == 0 {
-				return dst, corrupt("repeat distance before any match")
+				return dst[:start+d], corrupt("repeat distance before any match")
 			}
 		}
-		produced := len(dst) - start
-		if dist > produced {
-			return dst, corrupt("distance %d exceeds produced bytes %d", dist, produced)
+		if dist > d {
+			return dst[:start+d], corrupt("distance %d exceeds produced bytes %d", dist, d)
 		}
-		if produced+length > decompressedSize {
-			return dst, corrupt("match overruns declared size %d", decompressedSize)
+		if d+length > decompressedSize {
+			return dst[:start+d], corrupt("match overruns declared size %d", decompressedSize)
 		}
-		srcPos := len(dst) - dist
+		srcPos := d - dist
 		if dist >= length {
-			dst = append(dst, dst[srcPos:srcPos+length]...)
+			copy(out[d:d+length], out[srcPos:srcPos+length])
 		} else {
-			for i := 0; i < length; i++ {
-				dst = append(dst, dst[srcPos+i])
+			// Overlapping match: copy one period, then double the
+			// replicated region, capping every copy at length.
+			copy(out[d:d+dist], out[srcPos:d])
+			for n := dist; n < length; n *= 2 {
+				copy(out[d+n:d+length], out[d:d+n])
 			}
 		}
-		prevByte = dst[len(dst)-1]
+		d += length
+		prevByte = out[d-1]
 		prevOp = 1
 	}
-	return dst, nil
+	return dst[:start+decompressedSize], nil
 }

@@ -136,43 +136,74 @@ func maxFrameSize(n int) int {
 	return headerSize + n + n/8 + 64
 }
 
-// encodeFrame compresses block with the given ladder level and appends one
-// complete frame (header + payload) to dst. If the codec fails to shrink
-// the block, the block is stored raw under the identity codec so a frame
-// never expands by more than the header (the standard stored-block
-// fallback). It returns the extended dst and the codec ID actually used.
-func encodeFrame(dst []byte, ladder compress.Ladder, level int, block []byte) (out []byte, codecID uint8) {
+// encodeFramePieces compresses block with the given ladder level into
+// scratch (which must be empty; its storage is reused) and returns the
+// resulting frame as up to two pieces. When the codec shrank the block,
+// head is the complete frame (header + compressed payload) and tail is nil.
+// When the block is stored raw — an identity level, or the codec failed to
+// shrink it (the standard stored-block fallback, so a frame never expands
+// by more than the header) — head is the bare header and tail aliases
+// block: the caller can then put both pieces on the wire without ever
+// copying the block into scratch (see writeFrame / WriteVectored). tail is
+// only valid until block's buffer is reused.
+func encodeFramePieces(scratch []byte, ladder compress.Ladder, level int, block []byte) (head, tail []byte, codecID uint8) {
+	crc := crc32.Checksum(block, crcTable)
+	scratch = append(scratch, make([]byte, headerSize)...)
 	codec := ladder[level].Codec
-	hdrAt := len(dst)
-	dst = append(dst, make([]byte, headerSize)...)
-	dst = codec.Compress(dst, block)
 	codecID = codec.ID()
-	compLen := len(dst) - hdrAt - headerSize
-	if compLen >= len(block) && codecID != compress.IDNone {
-		dst = append(dst[:hdrAt+headerSize], block...)
-		compLen = len(block)
+	if codecID != compress.IDNone {
+		scratch = codec.Compress(scratch, block)
+		if compLen := len(scratch) - headerSize; compLen < len(block) {
+			putHeader(scratch, header{
+				codecID: codecID,
+				rawLen:  len(block),
+				compLen: compLen,
+				crc:     crc,
+			})
+			return scratch, nil, codecID
+		}
 		codecID = compress.IDNone
 	}
-	putHeader(dst[hdrAt:], header{
-		codecID: codecID,
+	putHeader(scratch, header{
+		codecID: compress.IDNone,
 		rawLen:  len(block),
-		compLen: compLen,
-		crc:     crc32.Checksum(block, crcTable),
+		compLen: len(block),
+		crc:     crc,
 	})
-	return dst, codecID
+	return scratch[:headerSize], block, codecID
 }
 
-// writeFrame encodes one frame into scratch and writes it to w. It returns
-// the number of payload (compressed) bytes written, the codec ID actually
-// used, the (possibly grown) scratch holding the encoded frame — callers
-// keep it so a rare mid-stream growth is paid once, not per frame — and
-// any I/O error.
-func writeFrame(w io.Writer, ladder compress.Ladder, level int, block, scratch []byte) (payload int, codecID uint8, scratchOut []byte, err error) {
-	frame, codecID := encodeFrame(scratch[:0], ladder, level, block)
-	if err := writeFull(w, frame); err != nil {
-		return 0, codecID, frame, err
+// encodeFrame compresses block with the given ladder level and appends one
+// complete contiguous frame (header + payload) to dst, which must be empty.
+// It returns the extended dst and the codec ID actually used. The pipeline
+// path uses this form because its block buffer is released before the
+// flusher writes the frame; the serial path uses encodeFramePieces and a
+// vectored write instead.
+func encodeFrame(dst []byte, ladder compress.Ladder, level int, block []byte) (out []byte, codecID uint8) {
+	head, tail, codecID := encodeFramePieces(dst, ladder, level, block)
+	if tail != nil {
+		head = append(head, tail...)
 	}
-	return len(frame) - headerSize, codecID, frame, nil
+	return head, codecID
+}
+
+// writeFrame encodes one frame into scratch and writes it to w — as two
+// vectored pieces for stored-raw frames, so the block is never copied into
+// scratch. It returns the number of payload (compressed) bytes written, the
+// codec ID actually used, the (possibly grown) scratch — callers keep it so
+// a rare mid-stream growth is paid once, not per frame — and any I/O error.
+func writeFrame(w io.Writer, ladder compress.Ladder, level int, block, scratch []byte) (payload int, codecID uint8, scratchOut []byte, err error) {
+	head, tail, codecID := encodeFramePieces(scratch[:0], ladder, level, block)
+	payload = len(head) - headerSize + len(tail)
+	if tail == nil {
+		err = writeFull(w, head)
+	} else {
+		err = WriteVectored(w, head, tail)
+	}
+	if err != nil {
+		return 0, codecID, head, err
+	}
+	return payload, codecID, head, nil
 }
 
 // readFrameHeader reads and parses one frame header from r into hdr. It

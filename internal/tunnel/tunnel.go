@@ -413,6 +413,18 @@ func (c *idleConn) Write(p []byte) (int, error) {
 	return c.Conn.Write(p)
 }
 
+// WriteVectored implements stream.VectoredWriter so the relay's frame
+// writer keeps its writev fast path through the idle-deadline wrapper: the
+// deadline covers the whole vectored write, and the pieces are re-dispatched
+// on the inner conn (writev for a raw TCP conn, writeFull fallback for
+// fault-injected wrappers).
+func (c *idleConn) WriteVectored(hdr, payload []byte) error {
+	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.idle)); err != nil {
+		return err
+	}
+	return stream.WriteVectored(c.Conn, hdr, payload)
+}
+
 // withIdle wraps c with the idle deadline policy when configured.
 func withIdle(c net.Conn, idle time.Duration) net.Conn {
 	if idle <= 0 {
