@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short test-shape test-obs bench bench-alloc bench-compare bench-throughput bench-throughput-compare alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
+.PHONY: all build test test-race test-short test-shape test-obs test-coord bench bench-alloc bench-compare bench-throughput bench-throughput-compare alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
 
 all: build test
 
@@ -31,6 +31,16 @@ test-obs:
 	$(GO) test -run 'TestHotPathAllocationFree' -count=1 ./internal/obs/
 	$(GO) test -run 'Golden|TestStatsDerivedFromMetrics' -count=1 ./internal/obs/ ./internal/nephele/
 	$(GO) test -run 'TestDecisionLogShowsBackoffAfterRevert|TestWriterObsCounters' -count=1 ./internal/stream/
+
+# Fleet-coordinator gates: the contention-regression suite (coordinated vs
+# solo on a shared simulated NIC, cheat sentinel included), the solo
+# convergence property suite it falls back to, and the tunnel wiring tests
+# — all under the race detector (docs/coordination.md).
+test-coord:
+	$(GO) test -race -count=1 ./internal/coord/
+	$(GO) test -race -run 'TestDecider' -count=1 ./internal/core/
+	$(GO) test -race -run 'TestCoord|TestQueuedConn' -count=1 ./internal/tunnel/
+	$(GO) test -race -run 'TestRunFleet|TestWaterFill' -count=1 ./internal/cloudsim/
 
 # One iteration of every paper table/figure benchmark with rendered output.
 bench:

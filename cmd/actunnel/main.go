@@ -25,6 +25,7 @@ import (
 
 	"adaptio"
 	"adaptio/internal/block"
+	"adaptio/internal/coord"
 	"adaptio/internal/obs"
 	"adaptio/internal/tunnel"
 )
@@ -46,6 +47,11 @@ func main() {
 		maxConns    = flag.Int("max-conns", 0, "serve at most this many connections concurrently, shedding excess (0 = unlimited)")
 		acceptQueue = flag.Int("accept-queue", 0, "connections beyond -max-conns that may wait for a slot before shedding (0 = shed immediately)")
 		metricsAddr = flag.String("metrics-addr", "", "serve the JSON metrics snapshot over HTTP on this address (empty = off)")
+
+		coordOn     = flag.Bool("coord", false, "coordinate compression levels across this endpoint's connections against a shared link budget instead of letting each adapt alone")
+		coordBudget = flag.Float64("coord-budget", coord.DefaultBudgetBytesPerSec/1e6, "shared link budget for -coord, in MB/s of wire bytes")
+		coordWeight = flag.Float64("coord-weight", 1, "fair-share weight of this endpoint's streams under -coord")
+		coordTenant = flag.String("coord-tenant", "", "tenant label for this endpoint's streams under -coord")
 	)
 	flag.Parse()
 	if *listen == "" || *target == "" || (*mode != "entry" && *mode != "exit") {
@@ -78,6 +84,23 @@ func main() {
 	if *static != adaptio.Adaptive {
 		cfg.Static = true
 		cfg.StaticLevel = *static
+	}
+	if *coordOn {
+		if cfg.Static {
+			log.Fatalf("actunnel: -coord is incompatible with -static (a pinned level leaves nothing to coordinate)")
+		}
+		c, err := coord.New(coord.Config{
+			BudgetBytesPerSec: *coordBudget * 1e6,
+			Levels:            len(adaptio.DefaultLadder()),
+			Alpha:             *alpha,
+			Obs:               reg.Scope("coord"),
+		})
+		if err != nil {
+			log.Fatalf("actunnel: %v", err)
+		}
+		cfg.Coord = c
+		cfg.CoordWeight = *coordWeight
+		cfg.CoordTenant = *coordTenant
 	}
 	if !*quiet {
 		names := adaptio.DefaultLadder().Names()

@@ -28,10 +28,11 @@
 // bytes. Defaults: 512 B and 1 alloc. Baselines large enough to matter
 // are unaffected by the slack.
 //
-// The throughput pass rule:
+// The throughput pass rule, per metric the baseline carries (MB/s and
+// ns/op gated independently, so a benchmark regressing both reports both):
 //
-//	new MB/s >= base MB/s * (1-regress)   (ns/op mirror-imaged when the
-//	                                       benchmark reports no MB/s)
+//	new MB/s  >= base MB/s  * (1-regress)
+//	new ns/op <= base ns/op * (1+regress)
 //
 // with a deliberately wider default tolerance (40%): wall-clock throughput
 // varies with the host CPU in a way allocation counts do not, so this gate
@@ -151,7 +152,9 @@ func main() {
 	rows, failed := compare(base, results, opts)
 	fmt.Print(renderRows(rows, *set, opts))
 	if failed {
-		log.Fatalf("FAIL: %s regression beyond %.0f%% against %s %q", *mode, *regress*100, *baselinePath, *set)
+		bad := failingNames(rows)
+		log.Fatalf("FAIL: %d benchmark(s) beyond %.0f%% against %s %q: %s",
+			len(bad), *regress*100, *baselinePath, *set, strings.Join(bad, ", "))
 	}
 	fmt.Printf("benchdiff: PASS (%d benchmarks within %.0f%% of %q)\n", len(rows), *regress*100, *set)
 }
@@ -314,13 +317,14 @@ func compare(base, results map[string]measurement, opts options) ([]row, bool) {
 		r := row{name: name, base: b, got: got, verdict: verdictOK}
 		switch opts.mode {
 		case modeThroughput:
-			// Gate on MB/s when the baseline has it; fall back to ns/op
-			// for benchmarks without a bytes-per-op notion.
-			if b.MBPerS > 0 {
-				if belowFloor(got.MBPerS, b.MBPerS, opts.regress) {
-					r.reasons = append(r.reasons, fmt.Sprintf("MB/s %.1f < %.1f-%.0f%%", got.MBPerS, b.MBPerS, opts.regress*100))
-				}
-			} else if b.NsPerOp > 0 && got.NsPerOp > b.NsPerOp*(1+opts.regress) {
+			// Every speed metric the baseline carries is gated on its own:
+			// the historical else-if here meant a benchmark with both
+			// columns never had its ns/op checked, and a run regressing
+			// several benchmarks surfaced only part of the damage.
+			if b.MBPerS > 0 && belowFloor(got.MBPerS, b.MBPerS, opts.regress) {
+				r.reasons = append(r.reasons, fmt.Sprintf("MB/s %.1f < %.1f-%.0f%%", got.MBPerS, b.MBPerS, opts.regress*100))
+			}
+			if b.NsPerOp > 0 && got.NsPerOp > b.NsPerOp*(1+opts.regress) {
 				r.reasons = append(r.reasons, fmt.Sprintf("ns/op %.0f > %.0f+%.0f%%", got.NsPerOp, b.NsPerOp, opts.regress*100))
 			}
 		default: // alloc
@@ -351,6 +355,20 @@ func compare(base, results map[string]measurement, opts options) ([]row, bool) {
 		rows = append(rows, row{name: name, got: results[name], verdict: verdictNew})
 	}
 	return rows, failed
+}
+
+// failingNames collects every benchmark that contributed to a failed gate:
+// FAIL verdicts and (unless -allow-missing) MISSING ones, in table order.
+// The final summary line enumerates them all so a multi-benchmark
+// regression is diagnosable from the last line of CI output alone.
+func failingNames(rows []row) []string {
+	var bad []string
+	for _, r := range rows {
+		if len(r.reasons) > 0 {
+			bad = append(bad, r.name)
+		}
+	}
+	return bad
 }
 
 // renderRows formats the comparison as an aligned table.

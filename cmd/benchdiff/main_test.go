@@ -64,7 +64,7 @@ func TestCompareThroughputMode(t *testing.T) {
 
 	t.Run("within tolerance passes", func(t *testing.T) {
 		results := map[string]measurement{
-			"BenchmarkTPFast": {MBPerS: 601, NsPerOp: 160000, hasSpeed: true},
+			"BenchmarkTPFast": {MBPerS: 601, NsPerOp: 139000, hasSpeed: true},
 			"BenchmarkTPNoMB": {NsPerOp: 6999, hasSpeed: true},
 		}
 		if rows, failed := compare(base, results, opts); failed {
@@ -93,6 +93,19 @@ func TestCompareThroughputMode(t *testing.T) {
 		}
 	})
 
+	t.Run("ns/op regression caught even when MB/s holds", func(t *testing.T) {
+		// The historical else-if skipped the ns/op check whenever the
+		// baseline carried MB/s; both metrics now gate independently.
+		results := map[string]measurement{
+			"BenchmarkTPFast": {MBPerS: 1000, NsPerOp: 150000, hasSpeed: true},
+			"BenchmarkTPNoMB": {NsPerOp: 5000, hasSpeed: true},
+		}
+		rows, failed := compare(base, results, opts)
+		if !failed || rows[0].verdict != verdictFail {
+			t.Fatalf("50%% ns/op growth with stable MB/s must fail, rows: %+v", rows)
+		}
+	})
+
 	t.Run("mem-only line counts as missing", func(t *testing.T) {
 		results := map[string]measurement{
 			"BenchmarkTPFast": {MBPerS: 1000, hasSpeed: true},
@@ -102,6 +115,88 @@ func TestCompareThroughputMode(t *testing.T) {
 			t.Fatal("input without speed columns must count as missing")
 		}
 	})
+}
+
+// TestCompareThroughputReportsAllRegressions is the multi-regression
+// contract: when several benchmarks regress in one run, every one of them
+// must carry a FAIL verdict with a reason, and failingNames must enumerate
+// them all — the gate may not surface just the first casualty.
+func TestCompareThroughputReportsAllRegressions(t *testing.T) {
+	base := map[string]measurement{
+		"BenchmarkTPAlpha": {MBPerS: 2000, NsPerOp: 50000},
+		"BenchmarkTPBeta":  {MBPerS: 800},
+		"BenchmarkTPGamma": {NsPerOp: 3000},
+		"BenchmarkTPOK":    {MBPerS: 100},
+	}
+	opts := options{mode: modeThroughput, regress: 0.40}
+	cases := []struct {
+		name        string
+		results     map[string]measurement
+		wantFailing []string
+		wantReasons map[string]int // FAIL rows -> number of reasons
+	}{
+		{
+			name: "two MB/s collapses",
+			results: map[string]measurement{
+				"BenchmarkTPAlpha": {MBPerS: 100, NsPerOp: 50000, hasSpeed: true},
+				"BenchmarkTPBeta":  {MBPerS: 100, hasSpeed: true},
+				"BenchmarkTPGamma": {NsPerOp: 3000, hasSpeed: true},
+				"BenchmarkTPOK":    {MBPerS: 100, hasSpeed: true},
+			},
+			wantFailing: []string{"BenchmarkTPAlpha", "BenchmarkTPBeta"},
+			wantReasons: map[string]int{"BenchmarkTPAlpha": 1, "BenchmarkTPBeta": 1},
+		},
+		{
+			name: "every family regresses at once",
+			results: map[string]measurement{
+				"BenchmarkTPAlpha": {MBPerS: 100, NsPerOp: 900000, hasSpeed: true},
+				"BenchmarkTPBeta":  {MBPerS: 1, hasSpeed: true},
+				"BenchmarkTPGamma": {NsPerOp: 9000, hasSpeed: true},
+				"BenchmarkTPOK":    {MBPerS: 100, hasSpeed: true},
+			},
+			wantFailing: []string{"BenchmarkTPAlpha", "BenchmarkTPBeta", "BenchmarkTPGamma"},
+			// Alpha regresses both of its baseline metrics: two reasons.
+			wantReasons: map[string]int{"BenchmarkTPAlpha": 2, "BenchmarkTPBeta": 1, "BenchmarkTPGamma": 1},
+		},
+		{
+			name: "missing benchmark joins the enumeration",
+			results: map[string]measurement{
+				"BenchmarkTPAlpha": {MBPerS: 2000, NsPerOp: 50000, hasSpeed: true},
+				"BenchmarkTPBeta":  {MBPerS: 100, hasSpeed: true},
+				"BenchmarkTPOK":    {MBPerS: 100, hasSpeed: true},
+			},
+			wantFailing: []string{"BenchmarkTPBeta", "BenchmarkTPGamma"},
+			wantReasons: map[string]int{"BenchmarkTPBeta": 1},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rows, failed := compare(base, c.results, opts)
+			if !failed {
+				t.Fatal("gate must fail")
+			}
+			got := failingNames(rows)
+			if len(got) != len(c.wantFailing) {
+				t.Fatalf("failingNames = %v, want %v", got, c.wantFailing)
+			}
+			for i, name := range c.wantFailing {
+				if got[i] != name {
+					t.Fatalf("failingNames = %v, want %v", got, c.wantFailing)
+				}
+			}
+			for _, r := range rows {
+				want, isFail := c.wantReasons[r.name]
+				if isFail {
+					if r.verdict != verdictFail || len(r.reasons) != want {
+						t.Errorf("%s: verdict %q with %d reason(s) %v, want FAIL with %d",
+							r.name, r.verdict, len(r.reasons), r.reasons, want)
+					}
+				} else if r.verdict == verdictFail {
+					t.Errorf("%s unexpectedly FAILed: %v", r.name, r.reasons)
+				}
+			}
+		})
+	}
 }
 
 func TestExceeds(t *testing.T) {

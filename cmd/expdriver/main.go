@@ -35,31 +35,36 @@ import (
 
 func main() {
 	var (
-		fig1      = flag.Bool("fig1", false, "Figure 1: CPU utilization accuracy")
-		fig2      = flag.Bool("fig2", false, "Figure 2: network throughput distribution")
-		fig3      = flag.Bool("fig3", false, "Figure 3: file write throughput distribution")
-		table2    = flag.Bool("table2", false, "Table II: completion time grid")
-		fig4      = flag.Bool("fig4", false, "Figure 4: adaptivity trace (HIGH, no load)")
-		fig5      = flag.Bool("fig5", false, "Figure 5: adaptivity trace (LOW, 2 connections)")
-		fig6      = flag.Bool("fig6", false, "Figure 6: compressibility switching")
-		ablations = flag.Bool("ablations", false, "ablations A1-A5")
-		claims    = flag.Bool("claims", false, "paper claims checklist (PASS/FAIL per quantitative claim)")
-		calibrate = flag.Bool("calibrate", false, "live codec calibration")
-		gb        = flag.Float64("gb", 50, "data volume per transfer in GB (decimal)")
-		runs      = flag.Int("runs", 5, "repetitions per Table II cell")
-		seed      = flag.Uint64("seed", 2011, "random seed")
-		liveProf  = flag.Bool("live-profiles", false, "drive Table II with profiles measured live from this repo's codecs instead of the paper-derived reference")
-		csvDir    = flag.String("csv", "", "also write each experiment's raw data as CSV into this directory")
-		scenario  = flag.String("scenario", "", "run a named runtime scenario instead of the paper experiments: 'soak' (loadgen against an in-process bounded tunnel pair, docs/scaling.md)")
+		fig1       = flag.Bool("fig1", false, "Figure 1: CPU utilization accuracy")
+		fig2       = flag.Bool("fig2", false, "Figure 2: network throughput distribution")
+		fig3       = flag.Bool("fig3", false, "Figure 3: file write throughput distribution")
+		table2     = flag.Bool("table2", false, "Table II: completion time grid")
+		fig4       = flag.Bool("fig4", false, "Figure 4: adaptivity trace (HIGH, no load)")
+		fig5       = flag.Bool("fig5", false, "Figure 5: adaptivity trace (LOW, 2 connections)")
+		fig6       = flag.Bool("fig6", false, "Figure 6: compressibility switching")
+		ablations  = flag.Bool("ablations", false, "ablations A1-A5")
+		claims     = flag.Bool("claims", false, "paper claims checklist (PASS/FAIL per quantitative claim)")
+		calibrate  = flag.Bool("calibrate", false, "live codec calibration")
+		gb         = flag.Float64("gb", 50, "data volume per transfer in GB (decimal)")
+		runs       = flag.Int("runs", 5, "repetitions per Table II cell")
+		seed       = flag.Uint64("seed", 2011, "random seed")
+		liveProf   = flag.Bool("live-profiles", false, "drive Table II with profiles measured live from this repo's codecs instead of the paper-derived reference")
+		csvDir     = flag.String("csv", "", "also write each experiment's raw data as CSV into this directory")
+		scenario   = flag.String("scenario", "", "run a named runtime scenario instead of the paper experiments: 'soak' (loadgen against an in-process bounded tunnel pair, docs/scaling.md) or 'sharednic' (coordinated vs solo fleet on one simulated NIC, docs/coordination.md)")
+		streams    = flag.Int("streams", 128, "fleet size for -scenario sharednic")
+		metricsOut = flag.String("metrics-out", "", "for -scenario sharednic: write the comparison JSON to this file (CI artifact)")
 	)
 	flag.Parse()
 
-	if *scenario != "" {
-		if *scenario != "soak" {
-			fmt.Fprintf(os.Stderr, "expdriver: unknown scenario %q (only 'soak')\n", *scenario)
-			os.Exit(2)
-		}
+	switch *scenario {
+	case "":
+	case "soak":
 		os.Exit(runSoak(*seed))
+	case "sharednic":
+		os.Exit(runSharedNIC(*seed, *streams, *metricsOut))
+	default:
+		fmt.Fprintf(os.Stderr, "expdriver: unknown scenario %q (want 'soak' or 'sharednic')\n", *scenario)
+		os.Exit(2)
 	}
 
 	// Process-wide metrics: the experiments run in-process, so the buffer

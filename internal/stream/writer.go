@@ -18,6 +18,29 @@ import (
 // decision model choose" (the paper's DYNAMIC mode).
 const Adaptive = -1
 
+// Scheme is an external level-selection policy plugged into a Writer via
+// WriterConfig.Scheme, replacing the internal solo decision model. It is
+// the stream layer's mirror of cloudsim.Scheme: the writer feeds it every
+// completed decision window and adopts the returned level for the next.
+// coord.Stream satisfies it (structurally — no import), which is how a
+// tunnel stream joins the fleet-level compression coordinator.
+type Scheme interface {
+	// Observe consumes the application data rate (bytes/second) of the
+	// completed window and returns the level for the next window.
+	Observe(rate float64) int
+	// Level returns the currently selected level; the writer starts at it.
+	Level() int
+}
+
+// WindowScheme is a Scheme that additionally receives the completed
+// window's byte totals at both layers, letting it estimate the achieved
+// compression ratio. When the configured Scheme satisfies it, the writer
+// calls ObserveWindowStats instead of Observe.
+type WindowScheme interface {
+	Scheme
+	ObserveWindowStats(rate float64, appBytes, wireBytes int64) int
+}
+
 // WindowStat describes one completed decision window; it feeds the
 // time-series traces of Figures 4–6.
 type WindowStat struct {
@@ -75,6 +98,13 @@ type WriterConfig struct {
 	// Static marks StaticLevel as intentional. Without this flag the
 	// zero-valued config would pin level 0 rather than adapt.
 	Static bool
+	// Scheme, if non-nil, delegates level selection to an external policy
+	// (e.g. a coord.Stream handle from the fleet coordinator) instead of
+	// the writer's own solo decision model. Mutually exclusive with
+	// Static. The writer starts at Scheme.Level() and clamps anything the
+	// scheme returns to the ladder, so a misbehaving policy can degrade
+	// compression choices but never crash the stream.
+	Scheme Scheme
 	// Clock supplies time; nil means the wall clock.
 	Clock vclock.Clock
 	// OnWindow, if non-nil, is invoked after every completed decision
@@ -172,12 +202,22 @@ func NewWriter(dst io.Writer, cfg WriterConfig) (*Writer, error) {
 	w.stats.BlocksPerLevel = make([]int64, len(cfg.Ladder))
 	w.obs = newWriterObs(cfg.Obs, cfg.Ladder)
 
-	if cfg.Static {
+	switch {
+	case cfg.Static:
+		if cfg.Scheme != nil {
+			return nil, errors.New("stream: Static and Scheme are mutually exclusive")
+		}
 		if cfg.StaticLevel < 0 || cfg.StaticLevel >= len(cfg.Ladder) {
 			return nil, fmt.Errorf("stream: static level %d outside ladder of %d levels", cfg.StaticLevel, len(cfg.Ladder))
 		}
 		w.level = cfg.StaticLevel
-	} else {
+	case cfg.Scheme != nil:
+		lvl := cfg.Scheme.Level()
+		if lvl < 0 || lvl >= len(cfg.Ladder) {
+			return nil, fmt.Errorf("stream: scheme starts at level %d outside ladder of %d levels", lvl, len(cfg.Ladder))
+		}
+		w.level = lvl
+	default:
 		dec, err := core.NewDecider(core.Config{
 			Levels:         len(cfg.Ladder),
 			Alpha:          cfg.Alpha,
@@ -392,9 +432,28 @@ func (w *Writer) finishWindow(final bool) {
 	rate := float64(w.winAppBytes) / elapsed.Seconds()
 	w.obs.windowRate.Observe(rate)
 	next := w.level
-	if w.dec != nil && !final {
-		next = w.dec.Observe(rate)
-		w.obs.onDecision(w.dec.LastDecision())
+	if !final {
+		switch {
+		case w.cfg.Scheme != nil:
+			w.statsMu.Lock()
+			winWire := w.winWireBytes
+			w.statsMu.Unlock()
+			if ws, ok := w.cfg.Scheme.(WindowScheme); ok {
+				next = ws.ObserveWindowStats(rate, w.winAppBytes, winWire)
+			} else {
+				next = w.cfg.Scheme.Observe(rate)
+			}
+			// Clamp defensively: the scheme is external code.
+			if next < 0 {
+				next = 0
+			}
+			if next >= len(w.ladder) {
+				next = len(w.ladder) - 1
+			}
+		case w.dec != nil:
+			next = w.dec.Observe(rate)
+			w.obs.onDecision(w.dec.LastDecision())
+		}
 	}
 	if w.cfg.OnWindow != nil {
 		w.statsMu.Lock()

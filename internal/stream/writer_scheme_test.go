@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"adaptio/internal/corpus"
+	"adaptio/internal/vclock"
+)
+
+// recordingScheme is a WindowScheme that scripts levels and records what the
+// writer fed it.
+type recordingScheme struct {
+	levels []int // level to return per ObserveWindowStats call
+	calls  int
+	rates  []float64
+	app    []int64
+	wire   []int64
+}
+
+func (r *recordingScheme) Level() int {
+	if len(r.levels) == 0 {
+		return 0
+	}
+	return r.levels[0]
+}
+
+func (r *recordingScheme) Observe(rate float64) int {
+	return r.ObserveWindowStats(rate, 0, 0)
+}
+
+func (r *recordingScheme) ObserveWindowStats(rate float64, appBytes, wireBytes int64) int {
+	r.rates = append(r.rates, rate)
+	r.app = append(r.app, appBytes)
+	r.wire = append(r.wire, wireBytes)
+	r.calls++
+	idx := r.calls
+	if idx >= len(r.levels) {
+		idx = len(r.levels) - 1
+	}
+	return r.levels[idx]
+}
+
+func TestWriterSchemeDrivesLevels(t *testing.T) {
+	clk := vclock.NewManual()
+	sch := &recordingScheme{levels: []int{0, 1, 2, 2, 1}}
+	var wire bytes.Buffer
+	w := mustWriter(t, &wire, WriterConfig{
+		Clock: clk, Window: time.Second, BlockSize: 16 << 10, Scheme: sch,
+	})
+	if w.Level() != 0 {
+		t.Fatalf("initial level = %d, want Scheme.Level() = 0", w.Level())
+	}
+	src := corpus.Generate(corpus.Moderate, 256<<10, 3)
+	for off := 0; off < len(src); off += 16 << 10 {
+		if _, err := w.Write(src[off : off+16<<10]); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sch.calls == 0 {
+		t.Fatal("scheme was never observed")
+	}
+	// The writer must have followed the script: levels 1 and 2 both saw
+	// blocks, and the scheme received real window stats.
+	st := w.Stats()
+	if st.BlocksPerLevel[1] == 0 || st.BlocksPerLevel[2] == 0 {
+		t.Fatalf("blocks per level = %v, want levels 1 and 2 used", st.BlocksPerLevel)
+	}
+	var app int64
+	for _, a := range sch.app {
+		app += a
+	}
+	if app == 0 {
+		t.Fatal("scheme saw zero application bytes")
+	}
+	for i, wb := range sch.wire {
+		if sch.app[i] > 0 && wb == 0 {
+			t.Fatalf("window %d: app bytes %d but zero wire bytes reported", i, sch.app[i])
+		}
+	}
+	// Round trip: mixed-level stream must still decode.
+	out, err := io.ReadAll(mustReader(t, &wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("scheme-driven stream round trip mismatch")
+	}
+}
+
+// outOfRangeScheme returns levels far outside the ladder; the writer must
+// clamp instead of crash.
+type outOfRangeScheme struct{ n int }
+
+func (o *outOfRangeScheme) Level() int { return 0 }
+func (o *outOfRangeScheme) Observe(float64) int {
+	o.n++
+	if o.n%2 == 0 {
+		return -5
+	}
+	return 99
+}
+
+func TestWriterSchemeClampsOutOfRangeLevels(t *testing.T) {
+	clk := vclock.NewManual()
+	var wire bytes.Buffer
+	w := mustWriter(t, &wire, WriterConfig{
+		Clock: clk, Window: time.Second, BlockSize: 8 << 10, Scheme: &outOfRangeScheme{},
+	})
+	src := corpus.Generate(corpus.Low, 64<<10, 5)
+	for off := 0; off < len(src); off += 8 << 10 {
+		if _, err := w.Write(src[off : off+8<<10]); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(mustReader(t, &wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("round trip mismatch with clamped levels")
+	}
+}
+
+func TestWriterSchemeStaticMutuallyExclusive(t *testing.T) {
+	var wire bytes.Buffer
+	_, err := NewWriter(&wire, WriterConfig{Static: true, Scheme: &recordingScheme{}})
+	if err == nil {
+		t.Fatal("NewWriter accepted Static together with Scheme")
+	}
+}
+
+func TestWriterSchemeBadInitialLevel(t *testing.T) {
+	var wire bytes.Buffer
+	_, err := NewWriter(&wire, WriterConfig{Scheme: &recordingScheme{levels: []int{42}}})
+	if err == nil {
+		t.Fatal("NewWriter accepted a scheme starting outside the ladder")
+	}
+}

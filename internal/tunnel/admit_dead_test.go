@@ -1,0 +1,92 @@
+package tunnel_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"adaptio/internal/faultio/leakcheck"
+	"adaptio/internal/tunnel"
+)
+
+// TestQueuedConnDeadPeerIsShed covers the queue-timeout edge of admit.go: a
+// connection parked in the accept queue whose client disconnects before a
+// relay slot frees must be shed when it finally unparks — counted in
+// tunnel.conns.shed, never in conns.accepted, and with no goroutine left
+// behind. Without the unpark-time liveness probe the tunnel would burn the
+// freed slot dialing the peer for a client that already left.
+func TestQueuedConnDeadPeerIsShed(t *testing.T) {
+	leakcheck.Check(t)
+	h := startScaleHarness(t, tunnel.Config{MaxConns: 1, AcceptQueue: 2})
+
+	release := holdConn(t, h.addr)
+	defer release()
+	waitFor(t, "slot busy", func() bool { return h.counter(t, "tunnel.conns.accepted") == 1 })
+
+	// Park a second connection, then hang up without sending a byte while
+	// it is still waiting for the slot.
+	queued, err := net.Dial("tcp", h.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "connection queued", func() bool { return h.gauge(t, "tunnel.conns.queued") == 1 })
+	queued.Close()
+	// The FIN crosses the loopback before anything can unpark the
+	// connection: the slot it is waiting for is still held below.
+	time.Sleep(20 * time.Millisecond)
+
+	// Free the slot: the dead parked connection unparks, fails the
+	// liveness probe, and is shed rather than served.
+	release()
+	waitFor(t, "dead queued conn shed", func() bool { return h.counter(t, "tunnel.conns.shed") == 1 })
+	if accepted := h.counter(t, "tunnel.conns.accepted"); accepted != 1 {
+		t.Fatalf("accepted = %d, want 1 (the dead queued conn must not count)", accepted)
+	}
+	waitFor(t, "queue drained", func() bool { return h.gauge(t, "tunnel.conns.queued") == 0 })
+
+	// The freed slot is usable again: a live client gets served.
+	next := holdConn(t, h.addr)
+	defer next()
+	waitFor(t, "slot reusable", func() bool { return h.counter(t, "tunnel.conns.accepted") == 2 })
+}
+
+// TestQueuedConnHalfCloseStillServed pins the probe's boundary: a client
+// that sent data and half-closed while parked is NOT dead — its bytes
+// deserve a relay. Only a connection with neither data nor an open write
+// side is shed.
+func TestQueuedConnHalfCloseStillServed(t *testing.T) {
+	leakcheck.Check(t)
+	h := startScaleHarness(t, tunnel.Config{MaxConns: 1, AcceptQueue: 2})
+
+	release := holdConn(t, h.addr)
+	waitFor(t, "slot busy", func() bool { return h.counter(t, "tunnel.conns.accepted") == 1 })
+
+	queued, err := net.Dial("tcp", h.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer queued.Close()
+	payload := []byte("sent before hangup")
+	if _, err := queued.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "connection queued", func() bool { return h.gauge(t, "tunnel.conns.queued") == 1 })
+	queued.(*net.TCPConn).CloseWrite()
+	time.Sleep(20 * time.Millisecond)
+
+	release()
+	waitFor(t, "half-closed conn served", func() bool { return h.counter(t, "tunnel.conns.accepted") == 2 })
+	// Its payload echoes back: the pending bytes were relayed, not peeked
+	// away by the probe.
+	queued.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, len(payload))
+	if _, err := queued.Read(buf); err != nil {
+		t.Fatalf("echo read after half-close: %v", err)
+	}
+	if string(buf) != string(payload) {
+		t.Fatalf("echo = %q, want %q", buf, payload)
+	}
+	if shed := h.counter(t, "tunnel.conns.shed"); shed != 0 {
+		t.Fatalf("shed = %d, want 0", shed)
+	}
+}

@@ -1,0 +1,43 @@
+//go:build linux
+
+package tunnel
+
+import (
+	"net"
+	"syscall"
+)
+
+// peerAlive reports whether a parked connection's client is still there. A
+// connection can spend a long time in the accept queue; if the client gave
+// up and closed while parked, dialing the peer and spinning up a relay for
+// it wastes the slot the connection just waited for. The probe is a
+// non-blocking MSG_PEEK: it consumes nothing, so a live connection's
+// pending bytes stay in the socket for the relay.
+//
+//   - 1 byte peeked: the client sent data (and may have half-closed after
+//     — that data still deserves service) -> alive.
+//   - 0 bytes, no error: orderly FIN with nothing pending -> dead.
+//   - EAGAIN: open, nothing sent yet -> alive.
+//   - ECONNRESET: dead.
+//
+// Any conn that does not expose a syscall descriptor is assumed alive; the
+// relay's first read discovers the truth.
+func peerAlive(conn net.Conn) bool {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return true
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return true
+	}
+	alive := true
+	var buf [1]byte
+	raw.Control(func(fd uintptr) {
+		n, _, err := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		if (n == 0 && err == nil) || err == syscall.ECONNRESET {
+			alive = false
+		}
+	})
+	return alive
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package tunnel
+
+import "net"
+
+// peerAlive always reports true on platforms without a cheap non-blocking
+// peek; a connection that died while parked in the accept queue is instead
+// discovered by the relay's first read.
+func peerAlive(net.Conn) bool { return true }

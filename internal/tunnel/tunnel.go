@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"adaptio/internal/block"
+	"adaptio/internal/coord"
 	"adaptio/internal/obs"
 	"adaptio/internal/stream"
 	"adaptio/internal/xrand"
@@ -120,6 +121,21 @@ type Config struct {
 	// totals, plus the compression stream's own metrics under
 	// "<scope>.stream.writer". actunnel wires this to -metrics-addr.
 	Obs *obs.Scope
+
+	// Coord, if non-nil, joins every connection's compress path to the
+	// fleet-level compression coordinator: the stream registers when its
+	// relay starts, takes its levels from the coordinator's weighted-fair
+	// budget allocation, and detaches (falling back to the solo decision
+	// model) when the connection closes. Ignored in Static mode — a
+	// pinned level is an explicit operator decision. See
+	// docs/coordination.md.
+	Coord *coord.Coordinator
+	// CoordWeight is the fair-share weight of this endpoint's streams in
+	// the coordinator's budget division; zero means 1.
+	CoordWeight float64
+	// CoordTenant labels this endpoint's streams in coordinator
+	// diagnostics.
+	CoordTenant string
 }
 
 // tunnelMetrics are an endpoint's instruments, resolved once per endpoint
@@ -365,6 +381,12 @@ func (e *Endpoint) serve(ctx context.Context, conn net.Conn, decision admitDecis
 		}
 	}
 	defer e.admit.release()
+	if decision == admitQueued && !peerAlive(conn) {
+		// The client hung up while parked in the accept queue: shed
+		// instead of dialing the peer and relaying a dead connection.
+		e.admit.shed(conn)
+		return
+	}
 	m.connsAccepted.Inc()
 	peer, err := dialPeer(ctx, dialAddr, cfg, m)
 	if err != nil {
@@ -484,7 +506,16 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		w, err := stream.NewWriter(wireRW, cfg.writerConfig(m.streamScope))
+		wcfg := cfg.writerConfig(m.streamScope)
+		if cfg.Coord != nil && !cfg.Static {
+			cs := cfg.Coord.Register(coord.StreamConfig{
+				Weight: cfg.CoordWeight,
+				Tenant: cfg.CoordTenant,
+			})
+			wcfg.Scheme = cs
+			defer cs.Detach()
+		}
+		w, err := stream.NewWriter(wireRW, wcfg)
 		if err != nil {
 			errs <- err
 			return
