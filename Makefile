@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short test-shape test-obs test-coord bench bench-alloc bench-compare bench-throughput bench-throughput-compare alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
+.PHONY: all build test test-race test-short test-shape test-obs test-coord bench bench-alloc bench-compare bench-throughput bench-throughput-compare bench-relay-gate alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
 
 all: build test
 
@@ -71,6 +71,14 @@ bench-throughput:
 bench-throughput-compare:
 	$(GO) test -run '^$$' -bench '^BenchmarkThroughput' -benchtime=1s . | tee bench_throughput_output.txt
 	$(GO) run ./cmd/benchdiff -mode throughput -baseline BENCH_throughput.json bench_throughput_output.txt
+
+# Zero-copy relay gate (docs/performance.md, "Zero-copy relay"): just the
+# relay benchmarks (NO-level and unframed passthrough) against their
+# BENCH_throughput.json floors. -allow-missing: this run skips the rest of
+# the throughput suite.
+bench-relay-gate:
+	$(GO) test -run '^$$' -bench '^BenchmarkThroughputRelay' -benchtime=1s -count=2 . | tee bench_relay_output.txt
+	$(GO) run ./cmd/benchdiff -mode throughput -baseline BENCH_throughput.json -allow-missing bench_relay_output.txt
 
 # The AllocsPerRun regression gates (serial round trip, presized decodes).
 alloc-gate:

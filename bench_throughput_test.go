@@ -236,12 +236,12 @@ func BenchmarkThroughputStreamParallelReader(b *testing.B) {
 	}
 }
 
-// BenchmarkThroughputTunnelRelay measures the full tunnel data plane over a
-// real loopback: per op one connection writes 8 blocks through entry→exit to
-// an echo server and reads them back, so every payload byte crosses a
-// compressing and a decompressing relay twice. SetBytes counts both
-// directions.
-func BenchmarkThroughputTunnelRelay(b *testing.B) {
+// benchTunnelRelay drives the full tunnel data plane over a real loopback:
+// per op one connection writes 8 blocks through entry→exit to an echo server
+// and reads them back, so every payload byte crosses both relays twice.
+// SetBytes counts both directions.
+func benchTunnelRelay(b *testing.B, cfg tunnel.Config) {
+	b.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -263,7 +263,6 @@ func BenchmarkThroughputTunnelRelay(b *testing.B) {
 		}
 	}()
 
-	cfg := tunnel.Config{Static: true, StaticLevel: stream.LevelLight}
 	exit, err := tunnel.ListenExit(ctx, "127.0.0.1:0", ln.Addr().String(), cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -301,4 +300,25 @@ func BenchmarkThroughputTunnelRelay(b *testing.B) {
 		}
 		conn.Close()
 	}
+}
+
+// BenchmarkThroughputTunnelRelay is the historical gate benchmark: a LIGHT
+// static tunnel pair, so every byte runs the codec both ways.
+func BenchmarkThroughputTunnelRelay(b *testing.B) {
+	benchTunnelRelay(b, tunnel.Config{Static: true, StaticLevel: stream.LevelLight})
+}
+
+// BenchmarkThroughputRelayNoLevel pins the framed zero-copy path: NO level
+// means stored-raw vectored frames out of ReadDirect on the compress side
+// and CRC-verified direct delivery on the decompress side — framing overhead
+// without a single user-space buffer-to-buffer copy.
+func BenchmarkThroughputRelayNoLevel(b *testing.B) {
+	benchTunnelRelay(b, tunnel.Config{Static: true, StaticLevel: stream.LevelNo})
+}
+
+// BenchmarkThroughputRelayPassthrough pins the unframed path: both endpoints
+// agree on Config.Passthrough, so on Linux the bytes move entirely in the
+// kernel via splice(2) (portable pooled-buffer loop elsewhere).
+func BenchmarkThroughputRelayPassthrough(b *testing.B) {
+	benchTunnelRelay(b, tunnel.Config{Passthrough: true})
 }

@@ -65,6 +65,7 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve the live JSON metrics snapshot over HTTP during the run")
 		metricsOut  = flag.String("metrics-out", "", "write the final {report, metrics} JSON to this file (CI artifact)")
+		minMBps     = flag.Float64("min-mbps", 0, "fail the run when aggregate application throughput lands below this many MB/s (0 = no gate)")
 		quiet       = flag.Bool("q", false, "suppress per-cycle error logging")
 	)
 	flag.Parse()
@@ -169,10 +170,12 @@ func main() {
 
 	if *metricsOut != "" {
 		artifact := struct {
-			Report  loadgen.Report  `json:"report"`
-			Leaked  int             `json:"leaked_goroutines"`
-			Metrics json.RawMessage `json:"metrics"`
-		}{report, leaked, json.RawMessage(reg.Snapshot())}
+			Report         loadgen.Report  `json:"report"`
+			Leaked         int             `json:"leaked_goroutines"`
+			ThroughputMBps float64         `json:"throughput_mbps"`
+			MinMBps        float64         `json:"min_mbps"`
+			Metrics        json.RawMessage `json:"metrics"`
+		}{report, leaked, report.ThroughputMBps(), *minMBps, json.RawMessage(reg.Snapshot())}
 		data, err := json.MarshalIndent(artifact, "", "  ")
 		if err != nil {
 			log.Fatalf("acload: marshal artifact: %v", err)
@@ -190,6 +193,9 @@ func main() {
 		log.Fatalf("acload: FAIL: %d cycles broke mid-transfer", report.Failed)
 	case leaked > 0:
 		log.Fatalf("acload: FAIL: %d goroutines leaked after drain", leaked)
+	case *minMBps > 0 && report.ThroughputMBps() < *minMBps:
+		log.Fatalf("acload: FAIL: aggregate throughput %.2f MB/s below the -min-mbps %.2f floor",
+			report.ThroughputMBps(), *minMBps)
 	}
 }
 

@@ -40,6 +40,9 @@ func main() {
 		static = flag.Int("static", adaptio.Adaptive, "static level 0..3, or -1 for adaptive")
 		quiet  = flag.Bool("q", false, "suppress per-connection statistics")
 
+		passthrough = flag.Bool("passthrough", false, "relay raw bytes with no framing or compression (both endpoints must agree; -static/-window/-alpha/-coord do not apply)")
+		flushIvl    = flag.Duration("flush-interval", 0, "max time a partial block may wait for more bytes before being framed (0 = default 5ms, negative = only flush full blocks)")
+
 		idleTimeout = flag.Duration("idle-timeout", 0, "tear down a connection direction after this long without traffic (0 = never)")
 		dialRetries = flag.Int("dial-retries", 0, "extra dial attempts after the first fails, with exponential backoff")
 		dialBackoff = flag.Duration("dial-backoff", tunnel.DefaultDialBackoff, "base backoff between dial attempts")
@@ -71,6 +74,8 @@ func main() {
 		ShutdownGrace: *grace,
 		MaxConns:      *maxConns,
 		AcceptQueue:   *acceptQueue,
+		Passthrough:   *passthrough,
+		FlushInterval: *flushIvl,
 		Obs:           reg.Scope("tunnel"),
 	}
 	if *metricsAddr != "" {
@@ -88,6 +93,9 @@ func main() {
 	if *coordOn {
 		if cfg.Static {
 			log.Fatalf("actunnel: -coord is incompatible with -static (a pinned level leaves nothing to coordinate)")
+		}
+		if *passthrough {
+			log.Fatalf("actunnel: -coord is incompatible with -passthrough (an unframed relay has no levels to coordinate)")
 		}
 		c, err := coord.New(coord.Config{
 			BudgetBytesPerSec: *coordBudget * 1e6,

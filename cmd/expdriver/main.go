@@ -327,6 +327,17 @@ func runSoak(seed uint64) int {
 	fmt.Println("--- end-of-run process metrics ---")
 	fmt.Print(reg.RenderText())
 
+	// Copy-accounting gate (docs/performance.md, "Zero-copy relay"): at
+	// LIGHT the relay pays ~1 user-space copy per byte (the codec
+	// transform); the pre-refactor staging loop paid ~2. Failing at 1.5
+	// catches a reintroduced staging copy without flaking on small-block
+	// noise.
+	copyRatio := 0.0
+	if m, ok := reg.Get("tunnel.relay.bytes_copied_per_byte_relayed").(*obs.FloatFuncMetric); ok {
+		copyRatio = m.Value()
+	}
+	fmt.Printf("soak: bytes_copied_per_byte_relayed = %.3f\n", copyRatio)
+
 	switch {
 	case report.Completed == 0:
 		fmt.Println("soak: FAIL: zero completed cycles")
@@ -336,6 +347,9 @@ func runSoak(seed uint64) int {
 		return 1
 	case leaked > 0:
 		fmt.Printf("soak: FAIL: %d goroutine(s) leaked after drain\n", leaked)
+		return 1
+	case copyRatio >= 1.5:
+		fmt.Printf("soak: FAIL: copy ratio %.3f — a relay staging copy is back\n", copyRatio)
 		return 1
 	}
 	fmt.Println("soak: PASS")

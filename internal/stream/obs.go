@@ -23,6 +23,11 @@ type writerObs struct {
 	blocks        *obs.Counter
 	levelSwitches *obs.Counter
 	rawFallbacks  *obs.Counter
+	// copiedBytes / passthroughBytes split the application bytes by
+	// user-space copy cost (see Stats.CopiedBytes): staged or
+	// codec-transformed bytes vs stored-raw bytes aliased onto the wire.
+	copiedBytes      *obs.Counter
+	passthroughBytes *obs.Counter
 	// Per-ladder-level byte accounting, indexed by level.
 	levelAppBytes  []*obs.Counter
 	levelWireBytes []*obs.Counter
@@ -35,13 +40,15 @@ type writerObs struct {
 
 func newWriterObs(scope *obs.Scope, ladder compress.Ladder) writerObs {
 	o := writerObs{
-		appBytes:      scope.Counter("app_bytes"),
-		wireBytes:     scope.Counter("wire_bytes"),
-		blocks:        scope.Counter("blocks"),
-		levelSwitches: scope.Counter("level_switches"),
-		rawFallbacks:  scope.Counter("raw_fallbacks"),
-		windowRate:    scope.Histogram("window_rate", rateBuckets),
-		decisions:     scope.EventLog("decisions", 0),
+		appBytes:         scope.Counter("app_bytes"),
+		wireBytes:        scope.Counter("wire_bytes"),
+		blocks:           scope.Counter("blocks"),
+		levelSwitches:    scope.Counter("level_switches"),
+		rawFallbacks:     scope.Counter("raw_fallbacks"),
+		copiedBytes:      scope.Counter("copied_bytes"),
+		passthroughBytes: scope.Counter("passthrough_bytes"),
+		windowRate:       scope.Histogram("window_rate", rateBuckets),
+		decisions:        scope.EventLog("decisions", 0),
 	}
 	appFam := scope.CounterFamily("app_bytes", "level")
 	wireFam := scope.CounterFamily("wire_bytes", "level")

@@ -44,14 +44,16 @@ type writeSink interface {
 }
 
 type compressJob struct {
-	seq   uint64
-	level int
-	block *block.Buf // owned by the pipeline once submitted
+	seq    uint64
+	level  int
+	staged int64      // raw bytes copied into the block by Write
+	block  *block.Buf // owned by the pipeline once submitted
 }
 
 type encodedFrame struct {
 	frame   *block.Buf // released by the flusher after the write
 	rawLen  int
+	staged  int64 // carried through for the sink's copy accounting
 	level   int
 	codecID uint8
 }
@@ -82,7 +84,7 @@ func (p *pipeline) worker() {
 		fbuf.B = frame
 		job.block.Release()
 		p.mu.Lock()
-		p.done[job.seq] = encodedFrame{frame: fbuf, rawLen: rawLen, level: job.level, codecID: codecID}
+		p.done[job.seq] = encodedFrame{frame: fbuf, rawLen: rawLen, staged: job.staged, level: job.level, codecID: codecID}
 		p.cond.Broadcast()
 		p.mu.Unlock()
 	}
@@ -123,7 +125,7 @@ func (p *pipeline) flusher() {
 // submit enqueues one block (whose arena buffer the pipeline takes
 // ownership of) at the given level. It returns any asynchronous write
 // error observed so far.
-func (p *pipeline) submit(blk *block.Buf, level int) error {
+func (p *pipeline) submit(blk *block.Buf, level int, staged int64) error {
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
@@ -133,7 +135,7 @@ func (p *pipeline) submit(blk *block.Buf, level int) error {
 	p.nextSub++
 	err := p.err
 	p.mu.Unlock()
-	p.jobs <- compressJob{seq: seq, level: level, block: blk}
+	p.jobs <- compressJob{seq: seq, level: level, staged: staged, block: blk}
 	return err
 }
 

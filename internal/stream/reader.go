@@ -3,9 +3,11 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"adaptio/internal/block"
+	"adaptio/internal/compress"
 )
 
 // errReaderClosed is the sticky error installed by Close on a reader
@@ -48,6 +50,12 @@ type Reader struct {
 	rawBytes  int64
 	wireBytes int64
 	blocks    int64
+	// copiedBytes / passthroughBytes split rawBytes by user-space copy
+	// cost: bytes run through a codec transform into the arena vs
+	// identity-frame bytes streamed from the payload buffer straight to
+	// a WriteTo destination (see CopyCounters).
+	copiedBytes      int64
+	passthroughBytes int64
 }
 
 // NewReader creates a Reader over src.
@@ -64,7 +72,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 		if r.err != nil {
 			return 0, r.err
 		}
-		if err := r.fill(); err != nil {
+		if _, err := r.fill(nil); err != nil {
 			r.err = err
 			return 0, err
 		}
@@ -102,20 +110,27 @@ func (r *Reader) releaseBufs() {
 	r.off = 0
 }
 
-// fill reads the next frame into r.blk. On any terminal condition (clean
-// EOF or framing error) the pooled buffers go back to the arena before the
-// error is returned; fill is only called when the previous block has been
-// fully delivered, so no live bytes are recycled.
-func (r *Reader) fill() error {
+// fill reads the next frame. Without a direct destination (direct == nil)
+// the frame is decoded into r.blk for delivery by Read. With one, identity
+// (stored-raw) frames take a zero-copy detour: the payload IS the raw block,
+// so after the CRC verifies it is streamed from the payload buffer straight
+// to direct — no decode copy into the arena — and fill reports the bytes
+// delivered that way. Non-identity frames decode into r.blk as usual.
+//
+// On any terminal condition (clean EOF or framing error) the pooled buffers
+// go back to the arena before the error is returned; fill is only called
+// when the previous block has been fully delivered, so no live bytes are
+// recycled. The CRC is verified before any byte is delivered on both paths.
+func (r *Reader) fill(direct io.Writer) (int, error) {
 	h, err := readFrameHeader(r.src, &r.hdr)
 	if err != nil {
 		r.releaseBufs()
 		if err == io.EOF {
-			return err
+			return 0, err
 		}
 		// r.wireBytes counts the wire bytes of frames decoded so far,
 		// which is exactly the offset of the frame that just failed.
-		return &FrameError{Frame: r.blocks, Offset: r.wireBytes, Err: err}
+		return 0, &FrameError{Frame: r.blocks, Offset: r.wireBytes, Err: err}
 	}
 	if r.payload == nil {
 		r.payload = block.Get(h.compLen)
@@ -127,7 +142,25 @@ func (r *Reader) fill() error {
 	if _, err := io.ReadFull(r.src, payload); err != nil {
 		r.releaseBufs()
 		err = fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
-		return &FrameError{Frame: r.blocks, Offset: r.wireBytes, Err: err}
+		return 0, &FrameError{Frame: r.blocks, Offset: r.wireBytes, Err: err}
+	}
+	if direct != nil && h.codecID == compress.IDNone && h.rawLen == h.compLen {
+		if got := crc32.Checksum(payload, crcTable); got != h.crc {
+			r.releaseBufs()
+			err := fmt.Errorf("%w: CRC mismatch (got %08x, want %08x)", ErrBadFrame, got, h.crc)
+			return 0, &FrameError{Frame: r.blocks, Offset: r.wireBytes, Err: err}
+		}
+		if err := writeFull(direct, payload); err != nil {
+			// The frame is consumed: a retry cannot recover the lost
+			// bytes, so the write error is terminal for the stream.
+			r.releaseBufs()
+			return 0, err
+		}
+		r.rawBytes += int64(h.rawLen)
+		r.wireBytes += int64(headerSize + h.compLen)
+		r.blocks++
+		r.passthroughBytes += int64(h.rawLen)
+		return h.rawLen, nil
 	}
 	if r.arena == nil {
 		r.arena = block.Get(h.rawLen)
@@ -139,14 +172,15 @@ func (r *Reader) fill() error {
 	r.arena.B = dst // keep any growth with the pooled buffer
 	if err != nil {
 		r.releaseBufs()
-		return &FrameError{Frame: r.blocks, Offset: r.wireBytes, Err: err}
+		return 0, &FrameError{Frame: r.blocks, Offset: r.wireBytes, Err: err}
 	}
 	r.blk = dst
 	r.off = 0
 	r.rawBytes += int64(h.rawLen)
 	r.wireBytes += int64(headerSize + h.compLen)
 	r.blocks++
-	return nil
+	r.copiedBytes += int64(h.rawLen)
+	return 0, nil
 }
 
 // Counters returns the number of application bytes delivered, wire bytes
@@ -155,9 +189,20 @@ func (r *Reader) Counters() (rawBytes, wireBytes, blocks int64) {
 	return r.rawBytes, r.wireBytes, r.blocks
 }
 
+// CopyCounters splits the delivered raw bytes by user-space copy cost:
+// copied bytes went through a codec transform into the arena, passthrough
+// bytes were identity-frame payloads streamed straight to a WriteTo
+// destination after CRC verification (the relay's zero-copy decompress
+// path, docs/performance.md).
+func (r *Reader) CopyCounters() (copied, passthrough int64) {
+	return r.copiedBytes, r.passthroughBytes
+}
+
 // WriteTo implements io.WriterTo, streaming all remaining blocks to w. This
-// is the efficient path for relays and sinks: blocks are forwarded without
-// the caller's copy loop.
+// is the efficient path for relays and sinks: non-identity blocks are
+// forwarded from the arena without the caller's copy loop, and identity
+// (stored-raw) frames skip the arena entirely — their payload is written to
+// w straight from the frame buffer once the CRC verifies.
 func (r *Reader) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for {
@@ -175,7 +220,9 @@ func (r *Reader) WriteTo(w io.Writer) (int64, error) {
 			}
 			return total, r.err
 		}
-		if err := r.fill(); err != nil {
+		n, err := r.fill(w)
+		total += int64(n)
+		if err != nil {
 			r.err = err
 			if err == io.EOF {
 				return total, nil

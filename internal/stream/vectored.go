@@ -3,6 +3,7 @@ package stream
 import (
 	"io"
 	"net"
+	"sync"
 )
 
 // VectoredWriter is the capability seam for vectored frame writes: a
@@ -45,8 +46,25 @@ func WriteVectored(w io.Writer, hdr, payload []byte) error {
 	return writeFull(w, payload)
 }
 
+// vecFrame is a pooled two-piece net.Buffers, so the steady-state frame
+// writer allocates nothing per frame: net.Buffers.WriteTo consumes the
+// slice by re-slicing it, so bufs is rebuilt from the backing array on
+// every use and the piece references are dropped before pooling (holding
+// them would pin the frame buffers past their arena release).
+type vecFrame struct {
+	arr  [2][]byte
+	bufs net.Buffers
+}
+
+var vecFramePool = sync.Pool{New: func() any { return new(vecFrame) }}
+
 func writeBuffers(w io.Writer, hdr, payload []byte) error {
-	bufs := net.Buffers{hdr, payload}
-	_, err := bufs.WriteTo(w)
+	v := vecFramePool.Get().(*vecFrame)
+	v.arr[0], v.arr[1] = hdr, payload
+	v.bufs = v.arr[:]
+	_, err := v.bufs.WriteTo(w)
+	v.arr[0], v.arr[1] = nil, nil
+	v.bufs = nil
+	vecFramePool.Put(v)
 	return err
 }

@@ -73,6 +73,18 @@ type Stats struct {
 	// RawFallbacks counts blocks stored uncompressed because the codec
 	// failed to shrink them.
 	RawFallbacks int64
+	// CopiedBytes counts application bytes that crossed a user-space
+	// buffer-to-buffer copy on their way to the wire: bytes staged into
+	// the pending block by Write (ReadDirect fills the block in place and
+	// stages nothing) plus every byte run through a codec transform.
+	// Stored-raw bytes that arrived via ReadDirect ride the vectored
+	// write aliasing the block and are never copied; those land in
+	// PassthroughBytes instead. CopiedBytes/AppBytes is the relay's
+	// bytes-copied-per-byte-relayed ratio (docs/performance.md).
+	CopiedBytes int64
+	// PassthroughBytes counts application bytes that reached the wire
+	// without any user-space copy (stored-raw frames of unstaged bytes).
+	PassthroughBytes int64
 }
 
 // WriterConfig parameterizes a Writer. The zero value gives the paper's
@@ -145,6 +157,7 @@ type Writer struct {
 	bufArena     *block.Buf
 	scratchArena *block.Buf
 	buf          []byte    // pending application bytes, cap = BlockSize
+	staged       int64     // bytes of buf that arrived via Write (copied in)
 	scratch      []byte    // compression scratch
 	pipe         *pipeline // non-nil when Parallelism > 1
 
@@ -254,21 +267,32 @@ func (w *Writer) writeEncodedFrame(f encodedFrame) error {
 		return err
 	}
 	w.statsMu.Lock()
-	w.accountFrame(int64(len(f.frame.B)), int64(f.rawLen), f.level, f.codecID)
+	// The pipeline encodes contiguous frames: even a stored-raw block is
+	// appended into the frame buffer, so every raw byte was copied once
+	// (plus once more on the way in if it was staged by Write).
+	w.accountFrame(int64(len(f.frame.B)), int64(f.rawLen), f.staged+int64(f.rawLen), 0, f.level, f.codecID)
 	w.statsMu.Unlock()
 	return nil
 }
 
-// accountFrame updates the frame counters; callers hold statsMu.
-func (w *Writer) accountFrame(wireBytes, rawBytes int64, level int, codecID uint8) {
+// accountFrame updates the frame counters; callers hold statsMu. copied and
+// passthrough split the frame's raw bytes by user-space copy cost: copied
+// counts buffer-to-buffer memcpys (staging by Write, codec transforms,
+// contiguous pipeline assembly), passthrough counts bytes that reached the
+// wire aliased straight out of the block with no user-space copy.
+func (w *Writer) accountFrame(wireBytes, rawBytes, copied, passthrough int64, level int, codecID uint8) {
 	w.stats.WireBytes += wireBytes
 	w.winWireBytes += wireBytes
 	w.stats.Blocks++
 	w.stats.BlocksPerLevel[level]++
+	w.stats.CopiedBytes += copied
+	w.stats.PassthroughBytes += passthrough
 	w.obs.wireBytes.Add(wireBytes)
 	w.obs.blocks.Inc()
 	w.obs.levelAppBytes[level].Add(rawBytes)
 	w.obs.levelWireBytes[level].Add(wireBytes)
+	w.obs.copiedBytes.Add(copied)
+	w.obs.passthroughBytes.Add(passthrough)
 	if codecID == compress.IDNone && w.ladder[level].Codec.ID() != compress.IDNone {
 		w.stats.RawFallbacks++
 		w.obs.rawFallbacks.Inc()
@@ -307,6 +331,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 		w.buf = append(w.buf, p[:n]...)
 		p = p[n:]
 		total += n
+		w.staged += int64(n)
 		w.stats.AppBytes += int64(n)
 		w.winAppBytes += int64(n)
 		w.obs.appBytes.Add(int64(n))
@@ -319,6 +344,67 @@ func (w *Writer) Write(p []byte) (int, error) {
 	}
 	w.maybeDecide()
 	return total, nil
+}
+
+// Buffered returns the number of application bytes accepted but not yet cut
+// into a frame. Relays use it to decide whether a coalescing flush deadline
+// is armed (docs/performance.md, "Zero-copy relay").
+func (w *Writer) Buffered() int { return len(w.buf) }
+
+// ReadDirect performs one read from r straight into the writer's pending
+// block, avoiding the staging copy a Read-into-scratch-then-Write loop pays:
+// the bytes land exactly where flushBlock compresses (or, for stored-raw
+// frames, vector-writes) them from. It returns the bytes read and r's error
+// verbatim — including timeouts, which are NOT made sticky, so a relay can
+// use read deadlines on r for flush pacing and keep going. A full block is
+// cut before reading (so there is always space) and immediately after the
+// read that fills it.
+func (w *Writer) ReadDirect(r io.Reader) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.closed {
+		return 0, errors.New("stream: read after Close")
+	}
+	if len(w.buf) == cap(w.buf) {
+		if err := w.flushBlock(); err != nil {
+			w.err = err
+			return 0, err
+		}
+	}
+	n, err := r.Read(w.buf[len(w.buf):cap(w.buf)])
+	if n > 0 {
+		w.buf = w.buf[:len(w.buf)+n]
+		w.stats.AppBytes += int64(n)
+		w.winAppBytes += int64(n)
+		w.obs.appBytes.Add(int64(n))
+		if len(w.buf) == cap(w.buf) {
+			if ferr := w.flushBlock(); ferr != nil {
+				w.err = ferr
+				if err == nil {
+					err = ferr
+				}
+			}
+		}
+	}
+	w.maybeDecide()
+	return n, err
+}
+
+// ReadFrom implements io.ReaderFrom by looping ReadDirect until EOF, so
+// io.Copy(w, src) moves the stream without an intermediate buffer.
+func (w *Writer) ReadFrom(r io.Reader) (int64, error) {
+	var total int64
+	for {
+		n, err := w.ReadDirect(r)
+		total += int64(n)
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
 }
 
 // Flush writes any buffered partial block downstream and, with a parallel
@@ -385,6 +471,8 @@ func (w *Writer) flushBlock() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
+	staged := w.staged
+	w.staged = 0
 	if w.pipe != nil {
 		// Hand the full arena buffer to the worker pool (zero copy;
 		// the pipeline releases it once the frame is encoded) and
@@ -394,7 +482,7 @@ func (w *Writer) flushBlock() error {
 		full.B = w.buf
 		w.bufArena = block.Get(w.cfg.BlockSize)
 		w.buf = w.bufArena.B[:0:w.cfg.BlockSize]
-		return w.pipe.submit(full, w.level)
+		return w.pipe.submit(full, w.level, staged)
 	}
 	payload, codecID, scratch, err := writeFrame(w.dst, w.ladder, w.level, w.buf, w.scratch)
 	w.scratch = scratch[:0]
@@ -402,8 +490,18 @@ func (w *Writer) flushBlock() error {
 	if err != nil {
 		return err
 	}
+	rawBytes := int64(len(w.buf))
+	// Serial stored-raw frames go out vectored, aliasing the block: only
+	// the staged bytes were ever copied in user space. A codec transform
+	// copies every raw byte once more.
+	copied, passthrough := staged, int64(0)
+	if codecID != compress.IDNone {
+		copied += rawBytes
+	} else {
+		passthrough = rawBytes - staged
+	}
 	w.statsMu.Lock()
-	w.accountFrame(int64(payload+headerSize), int64(len(w.buf)), w.level, codecID)
+	w.accountFrame(int64(payload+headerSize), rawBytes, copied, passthrough, w.level, codecID)
 	w.statsMu.Unlock()
 	w.buf = w.buf[:0]
 	return nil

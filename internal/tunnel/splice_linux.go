@@ -1,0 +1,122 @@
+//go:build linux
+
+package tunnel
+
+import (
+	"net"
+	"os"
+	"syscall"
+	"time"
+)
+
+// spliceStream moves src's byte stream into dst entirely inside the kernel
+// with splice(2): socket -> pipe -> socket, no byte ever entering user
+// space. It is the passthrough relay's Linux fast path.
+//
+// It engages only when both ends are raw *net.TCPConn (a fault-injected or
+// otherwise wrapped conn is not, which is exactly the seam the chaos tests
+// rely on: wrapping the wire forces the portable copy loop where faults are
+// observable). ok=false means "not applicable, fall back" — returned before
+// any byte moves, also when the kernel rejects the first splice with
+// EINVAL/ENOSYS. Once bytes have moved there is no going back: errors are
+// returned as-is, with deadline expiries satisfying net.Error.Timeout()
+// like ordinary conn reads, so the caller's idle-timeout classification
+// works unchanged.
+//
+// The pipe is non-blocking and fully drained into dst after every inbound
+// splice, so an EAGAIN on the inbound side always means "source empty":
+// the raw-conn Read callback then parks on readability under the rolling
+// idle deadline. Each splice moves at most relayBufSize bytes — the same
+// unit the portable fallback and the stream block size use.
+func spliceStream(dst, src net.Conn, idle time.Duration) (n int64, ok bool, err error) {
+	srcTCP, okS := src.(*net.TCPConn)
+	dstTCP, okD := dst.(*net.TCPConn)
+	if !okS || !okD {
+		return 0, false, nil
+	}
+	srcRaw, err := srcTCP.SyscallConn()
+	if err != nil {
+		return 0, false, nil
+	}
+	dstRaw, err := dstTCP.SyscallConn()
+	if err != nil {
+		return 0, false, nil
+	}
+	var pipeFds [2]int
+	if err := syscall.Pipe2(pipeFds[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		return 0, false, nil
+	}
+	defer syscall.Close(pipeFds[0])
+	defer syscall.Close(pipeFds[1])
+
+	// splice(2) flags; the syscall package exposes Splice but not these.
+	const (
+		spliceFMove     = 0x1 // SPLICE_F_MOVE
+		spliceFNonblock = 0x2 // SPLICE_F_NONBLOCK
+	)
+	const flags = spliceFMove | spliceFNonblock
+	var total int64
+	for {
+		if idle > 0 {
+			if err := srcTCP.SetReadDeadline(time.Now().Add(idle)); err != nil {
+				return total, true, err
+			}
+		}
+		var in int64
+		var inErr error
+		waitErr := srcRaw.Read(func(fd uintptr) bool {
+			for {
+				in, inErr = syscall.Splice(int(fd), nil, pipeFds[1], nil, relayBufSize, flags)
+				if inErr == syscall.EINTR {
+					continue
+				}
+				// The pipe is empty (always drained below), so EAGAIN can
+				// only mean the socket has no data: park until readable.
+				return inErr != syscall.EAGAIN
+			}
+		})
+		if waitErr != nil {
+			return total, true, waitErr
+		}
+		if inErr != nil {
+			if total == 0 && (inErr == syscall.EINVAL || inErr == syscall.ENOSYS) {
+				return 0, false, nil
+			}
+			return total, true, os.NewSyscallError("splice", inErr)
+		}
+		if in == 0 {
+			return total, true, nil // EOF
+		}
+		for rem := in; rem > 0; {
+			if idle > 0 {
+				if err := dstTCP.SetWriteDeadline(time.Now().Add(idle)); err != nil {
+					return total, true, err
+				}
+			}
+			var out int64
+			var outErr error
+			waitErr := dstRaw.Write(func(fd uintptr) bool {
+				for {
+					out, outErr = syscall.Splice(pipeFds[0], nil, int(fd), nil, int(rem), flags)
+					if outErr == syscall.EINTR {
+						continue
+					}
+					// EAGAIN here means the socket send buffer is full:
+					// park until writable.
+					return outErr != syscall.EAGAIN
+				}
+			})
+			if waitErr != nil {
+				return total, true, waitErr
+			}
+			if outErr != nil {
+				return total, true, os.NewSyscallError("splice", outErr)
+			}
+			if out <= 0 {
+				return total, true, os.NewSyscallError("splice", syscall.EIO)
+			}
+			rem -= out
+			total += out
+		}
+	}
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package tunnel
+
+import (
+	"net"
+	"time"
+)
+
+// spliceStream is the non-Linux stub: never applicable, so the passthrough
+// relay always takes the portable pooled-buffer copy loop (copyDirect's
+// fallback). The two paths relay byte-identical streams — see the
+// passthrough matrix test.
+func spliceStream(dst, src net.Conn, idle time.Duration) (n int64, ok bool, err error) {
+	return 0, false, nil
+}

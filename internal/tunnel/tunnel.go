@@ -38,7 +38,6 @@ import (
 	"sync"
 	"time"
 
-	"adaptio/internal/block"
 	"adaptio/internal/coord"
 	"adaptio/internal/obs"
 	"adaptio/internal/stream"
@@ -112,8 +111,29 @@ type Config struct {
 	// WrapWire, if non-nil, wraps the wire-side (compressed) connection
 	// before the relay uses it. This is the seam the fault-injection
 	// tests use (internal/faultio.WrapConn); production configs leave it
-	// nil.
+	// nil. Wrapping also forces the passthrough relay off the splice(2)
+	// fast path (a wrapped conn is not a *net.TCPConn), so chaos tests
+	// intercept every byte.
 	WrapWire func(net.Conn) net.Conn
+
+	// Passthrough relays raw bytes with no framing or compression at all:
+	// the operator's declaration that this tunnel's traffic is already
+	// compressed (or otherwise not worth compressing), so the relay's job
+	// reduces to moving bytes — via splice(2) entirely inside the kernel
+	// on Linux TCP paths, via one pooled buffer elsewhere. Both tunnel
+	// endpoints must agree on Passthrough (the wire carries no frames to
+	// tell them apart) and the wire loses the frame CRC: integrity rests
+	// on TCP's checksums alone, as with any plain TCP proxy. Static,
+	// StaticLevel, Window, Alpha and Coord are ignored. See
+	// docs/performance.md, "Zero-copy relay".
+	Passthrough bool
+	// FlushInterval bounds how long the compress path may hold a partial
+	// block waiting for more data before cutting a frame, so low-rate or
+	// interactive traffic is not stalled by full-block framing. Zero
+	// means DefaultFlushInterval; negative disables the deadline (a
+	// partial block then waits for a full block or EOF, the pre-PR-7
+	// behaviour).
+	FlushInterval time.Duration
 
 	// Obs, if non-nil, is the observability scope the endpoint registers
 	// its metrics under (conventionally "tunnel"): connection counts,
@@ -158,6 +178,12 @@ type tunnelMetrics struct {
 	rxAppBytes    *obs.Counter // wire->plain direction, post-decompression
 	rxWireBytes   *obs.Counter
 	rxBlocks      *obs.Counter
+	// Copy accounting (docs/performance.md, "Zero-copy relay"):
+	// bytesCopied counts user-space buffer-to-buffer copies on the data
+	// path, passthroughBytes counts bytes relayed without any. Their sum
+	// over app bytes is exposed as bytes_copied_per_byte_relayed.
+	bytesCopied      *obs.Counter
+	passthroughBytes *obs.Counter
 	// streamScope is forwarded to every connection's stream.Writer, so
 	// all connections aggregate into one set of stream metrics.
 	streamScope *obs.Scope
@@ -167,6 +193,20 @@ func newTunnelMetrics(scope *obs.Scope) *tunnelMetrics {
 	conns := scope.Scope("conns")
 	dial := scope.Scope("dial")
 	relay := scope.Scope("relay")
+	txApp := relay.Counter("tx_app_bytes")
+	rxApp := relay.Counter("rx_app_bytes")
+	copied := relay.Counter("bytes_copied")
+	// The copy-accounting gate's observable: user-space copies per byte
+	// relayed. 0 for pure zero-copy traffic (NO-level vectored frames,
+	// splice passthrough), ~1 when every byte crosses one codec
+	// transform, ~2 for the pre-PR-7 staging+transform relay loop.
+	relay.FloatFunc("bytes_copied_per_byte_relayed", func() float64 {
+		relayed := txApp.Value() + rxApp.Value()
+		if relayed == 0 {
+			return 0
+		}
+		return float64(copied.Value()) / float64(relayed)
+	})
 	return &tunnelMetrics{
 		connsTotal:    conns.Counter("total"),
 		connsActive:   conns.Gauge("active"),
@@ -179,13 +219,16 @@ func newTunnelMetrics(scope *obs.Scope) *tunnelMetrics {
 		dialRetries:   dial.Counter("retries"),
 		dialFailures:  dial.Counter("failures"),
 		idleTimeouts:  scope.Counter("idle_timeouts"),
-		txAppBytes:    relay.Counter("tx_app_bytes"),
+		txAppBytes:    txApp,
 		txWireBytes:   relay.Counter("tx_wire_bytes"),
 		txSwitches:    relay.Counter("tx_level_switches"),
-		rxAppBytes:    relay.Counter("rx_app_bytes"),
+		rxAppBytes:    rxApp,
 		rxWireBytes:   relay.Counter("rx_wire_bytes"),
 		rxBlocks:      relay.Counter("rx_blocks"),
-		streamScope:   scope.Scope("stream").Scope("writer"),
+
+		bytesCopied:      copied,
+		passthroughBytes: relay.Counter("passthrough_bytes"),
+		streamScope:      scope.Scope("stream").Scope("writer"),
 	}
 }
 
@@ -470,9 +513,14 @@ func classify(err error) error {
 	return err
 }
 
-// relay shuttles one connection: bytes from plain are compressed onto wire,
-// frames from wire are decompressed onto plain. It returns when both
-// directions have finished.
+// relay shuttles one connection until both directions finish. Each
+// direction is a relayPath (internal/tunnel/relaypath.go), chosen by the
+// endpoint's configuration: the framed pair (compressPath / decompressPath)
+// by default, the unframed passthroughPath pair under Config.Passthrough.
+// Within the framed compress path the zero-copy choice is then re-made per
+// block: whenever the level scheme sits at (or falls back to) NO, frames go
+// out stored-raw and vectored, aliasing the pending block — so crossing
+// into or out of NO mid-stream flips the data path without reconnecting.
 func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction string, m *tunnelMetrics) error {
 	defer plain.Close()
 	defer wire.Close()
@@ -481,8 +529,13 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 	m.connsPeak.SetMax(m.connsActive.Value())
 	defer m.connsActive.Add(-1)
 
-	plainTCP, okP := plain.(halfCloser)
-	wireTCP, okW := wire.(halfCloser)
+	var plainCW, wireCW halfCloser
+	if hc, ok := plain.(halfCloser); ok {
+		plainCW = hc
+	}
+	if hc, ok := wire.(halfCloser); ok {
+		wireCW = hc
+	}
 
 	// Tear connections down if the endpoint is shut down mid-relay.
 	stop := make(chan struct{})
@@ -496,86 +549,39 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 		}
 	}()
 
-	plainRW := withIdle(plain, cfg.IdleTimeout)
-	wireRW := withIdle(wire, cfg.IdleTimeout)
+	var tx, rx relayPath
+	if cfg.Passthrough {
+		tx = &passthroughPath{
+			cfg: cfg, m: m, src: plain, dst: wire, dstCW: wireCW,
+			label: "passthrough tx", direction: direction,
+			appBytes: m.txAppBytes, wireBytes: m.txWireBytes, reportDone: true,
+		}
+		rx = &passthroughPath{
+			cfg: cfg, m: m, src: wire, dst: plain, dstCW: plainCW,
+			label:    "passthrough rx",
+			appBytes: m.rxAppBytes, wireBytes: m.rxWireBytes,
+		}
+	} else {
+		plainRW := withIdle(plain, cfg.IdleTimeout)
+		wireRW := withIdle(wire, cfg.IdleTimeout)
+		// The compress path reads the RAW plain conn: it owns that side's
+		// read deadlines (idle + coalescing flush). plainRW still applies
+		// the idle policy to the decompress path's writes.
+		tx = &compressPath{cfg: cfg, m: m, direction: direction, plain: plain, wire: wireRW, wireCW: wireCW}
+		rx = &decompressPath{cfg: cfg, m: m, wire: wireRW, plain: plainRW, plainCW: plainCW}
+	}
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 2)
-
-	// plain -> compress -> wire
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		wcfg := cfg.writerConfig(m.streamScope)
-		if cfg.Coord != nil && !cfg.Static {
-			cs := cfg.Coord.Register(coord.StreamConfig{
-				Weight: cfg.CoordWeight,
-				Tenant: cfg.CoordTenant,
-			})
-			wcfg.Scheme = cs
-			defer cs.Detach()
-		}
-		w, err := stream.NewWriter(wireRW, wcfg)
-		if err != nil {
-			errs <- err
-			return
-		}
-		// Pooled copy buffer (see internal/block): onlyReader hides any
-		// WriteTo on the conn so CopyBuffer actually uses it instead of
-		// allocating its own per connection.
-		cbuf := block.GetLen(64 << 10)
-		_, cpErr := io.CopyBuffer(w, onlyReader{plainRW}, cbuf.B)
-		cbuf.Release()
-		if closeErr := w.Close(); cpErr == nil {
-			cpErr = closeErr
-		}
-		cpErr = classify(cpErr)
-		if errors.Is(cpErr, ErrIdleTimeout) {
-			m.idleTimeouts.Inc()
-		}
-		if okW {
-			wireTCP.CloseWrite() // signal EOF downstream, keep reading
-		}
-		st := w.Stats()
-		m.txAppBytes.Add(st.AppBytes)
-		m.txWireBytes.Add(st.WireBytes)
-		m.txSwitches.Add(st.LevelSwitches)
-		if cfg.OnDone != nil {
-			cfg.OnDone(ConnStats{Direction: direction, Stats: st, Err: cpErr})
-		}
-		if cpErr != nil {
-			errs <- fmt.Errorf("compress path: %w", cpErr)
-		}
-	}()
-
-	// wire -> decompress -> plain
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		r, err := stream.NewReader(wireRW)
-		if err != nil {
-			errs <- err
-			return
-		}
-		// io.Copy uses r's WriteTo: blocks flow straight from the reader's
-		// pooled arena buffer to the plain conn, no copy buffer at all.
-		_, cpErr := io.Copy(plainRW, r)
-		raw, wireBytes, blocks := r.Counters()
-		m.rxAppBytes.Add(raw)
-		m.rxWireBytes.Add(wireBytes)
-		m.rxBlocks.Add(blocks)
-		r.Close() // recycle the arena buffers if the plain side failed first
-		if okP {
-			plainTCP.CloseWrite()
-		}
-		if cpErr = classify(cpErr); cpErr != nil {
-			if errors.Is(cpErr, ErrIdleTimeout) {
-				m.idleTimeouts.Inc()
+	for _, p := range []relayPath{tx, rx} {
+		wg.Add(1)
+		go func(p relayPath) {
+			defer wg.Done()
+			if err := p.run(); err != nil {
+				errs <- err
 			}
-			errs <- fmt.Errorf("decompress path: %w", cpErr)
-		}
-	}()
-
+		}(p)
+	}
 	wg.Wait()
 	select {
 	case err := <-errs:
@@ -587,12 +593,6 @@ func relay(ctx context.Context, plain, wire net.Conn, cfg Config, direction stri
 		return nil
 	}
 }
-
-// onlyReader restricts a net.Conn to its Read method so io.CopyBuffer
-// cannot discover a WriteTo fast path and skip the caller's pooled buffer.
-type onlyReader struct{ r io.Reader }
-
-func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
 
 // isBenignNetErr filters the errors every TCP relay sees at teardown. Idle
 // timeouts and framing errors are not benign: they indicate a stalled peer
