@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short test-shape test-obs test-coord bench bench-alloc bench-compare bench-throughput bench-throughput-compare bench-relay-gate alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
+.PHONY: all build test test-race test-short test-shape test-obs test-coord test-scenario bench bench-alloc bench-compare bench-throughput bench-throughput-compare bench-relay-gate alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
 
 all: build test
 
@@ -41,6 +41,16 @@ test-coord:
 	$(GO) test -race -run 'TestDecider' -count=1 ./internal/core/
 	$(GO) test -race -run 'TestCoord|TestQueuedConn' -count=1 ./internal/tunnel/
 	$(GO) test -race -run 'TestRunFleet|TestWaterFill' -count=1 ./internal/cloudsim/
+
+# Scenario DSL regression surface (docs/scenarios.md): parser strictness and
+# fuzz seeds, artifact-determinism goldens, the trace record/replay round
+# trip, the flapping-NIC dwell suite, and the built-in claim/rig shape
+# matrix — the rigs must break exactly the claims they target.
+test-scenario:
+	$(GO) test -race -count=1 ./internal/scenario/ ./internal/trace/
+	$(GO) test -race -run 'TestFlap' -count=1 ./internal/coord/
+	$(GO) test -run 'TestScenario' -count=1 -v ./internal/experiments/
+	$(GO) run ./cmd/expdriver -scenario flaps -max-wall 2m
 
 # One iteration of every paper table/figure benchmark with rendered output.
 bench:
@@ -105,11 +115,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzWriterChunking -fuzztime=30s ./internal/stream/
 	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=30s ./internal/stream/
 	$(GO) test -fuzz=FuzzTunnelFrame -fuzztime=30s ./internal/tunnel/
+	$(GO) test -fuzz=FuzzScenarioParse -fuzztime=30s ./internal/scenario/
 
 # Short fuzz sessions of the corrupt-input targets; what CI runs.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=10s ./internal/stream/
 	$(GO) test -fuzz=FuzzTunnelFrame -fuzztime=10s ./internal/tunnel/
+	$(GO) test -fuzz=FuzzScenarioParse -fuzztime=10s ./internal/scenario/
 
 # Extended fuzz sessions of every target; what the nightly workflow runs.
 fuzz-nightly:
@@ -119,6 +131,7 @@ fuzz-nightly:
 	$(GO) test -fuzz=FuzzWriterChunking -fuzztime=5m ./internal/stream/
 	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=5m ./internal/stream/
 	$(GO) test -fuzz=FuzzTunnelFrame -fuzztime=5m ./internal/tunnel/
+	$(GO) test -fuzz=FuzzScenarioParse -fuzztime=5m ./internal/scenario/
 
 # The seeded fault-injection scenarios (docs/robustness.md) under -race.
 chaos:

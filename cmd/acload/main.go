@@ -38,6 +38,7 @@ import (
 	"adaptio/internal/corpus"
 	"adaptio/internal/loadgen"
 	"adaptio/internal/obs"
+	"adaptio/internal/trace"
 	"adaptio/internal/tunnel"
 )
 
@@ -65,6 +66,7 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve the live JSON metrics snapshot over HTTP during the run")
 		metricsOut  = flag.String("metrics-out", "", "write the final {report, metrics} JSON to this file (CI artifact)")
+		traceOut    = flag.String("trace-out", "", "record completed-cycle bytes per decision window to this JSON trace file (replayable via expdriver -scenario with \"trace\")")
 		minMBps     = flag.Float64("min-mbps", 0, "fail the run when aggregate application throughput lands below this many MB/s (0 = no gate)")
 		quiet       = flag.Bool("q", false, "suppress per-cycle error logging")
 	)
@@ -142,6 +144,11 @@ func main() {
 		Verify:     *verify,
 		Obs:        reg.Scope("loadgen"),
 	}
+	var recorder *trace.Recorder
+	if *traceOut != "" {
+		recorder = trace.NewRecorder(window.Seconds())
+		lcfg.Recorder = recorder
+	}
 	if !*quiet {
 		lcfg.Logf = log.Printf
 	}
@@ -151,6 +158,18 @@ func main() {
 		log.Fatalf("acload: %v", err)
 	}
 	fmt.Println(report.String())
+
+	if recorder != nil {
+		wt := recorder.Snapshot()
+		if len(wt.Windows) == 0 {
+			log.Printf("acload: trace-out: no completed cycles to record, skipping %s", *traceOut)
+		} else if err := wt.Save(*traceOut); err != nil {
+			log.Fatalf("acload: %v", err)
+		} else {
+			log.Printf("acload: wrote %d-window trace (%d bytes of payload) to %s",
+				len(wt.Windows), wt.TotalAppBytes(), *traceOut)
+		}
+	}
 
 	// Drain the in-process endpoints, then verify their goroutines are
 	// gone: the soak's leak check.

@@ -50,9 +50,12 @@ func main() {
 		seed       = flag.Uint64("seed", 2011, "random seed")
 		liveProf   = flag.Bool("live-profiles", false, "drive Table II with profiles measured live from this repo's codecs instead of the paper-derived reference")
 		csvDir     = flag.String("csv", "", "also write each experiment's raw data as CSV into this directory")
-		scenario   = flag.String("scenario", "", "run a named runtime scenario instead of the paper experiments: 'soak' (loadgen against an in-process bounded tunnel pair, docs/scaling.md) or 'sharednic' (coordinated vs solo fleet on one simulated NIC, docs/coordination.md)")
+		scenario   = flag.String("scenario", "", "run a runtime scenario instead of the paper experiments: 'soak' (docs/scaling.md), 'sharednic' (docs/coordination.md), a built-in scenario-DSL name (diurnal, heavytail, lossy, flaps, hetfleet, diurnal-lossy-1000 — docs/scenarios.md), or a path to a scenario JSON file")
 		streams    = flag.Int("streams", 128, "fleet size for -scenario sharednic")
-		metricsOut = flag.String("metrics-out", "", "for -scenario sharednic: write the comparison JSON to this file (CI artifact)")
+		metricsOut = flag.String("metrics-out", "", "for runtime scenarios: write the JSON result artifact to this file (CI artifact)")
+		parallel   = flag.Int("parallel", 4, "for scenario-DSL runs: variants simulated concurrently (results are byte-identical for any value)")
+		rig        = flag.String("rig", "", "for scenario-DSL runs: apply a sentinel property-breaker (test use only; see internal/scenario.Rig)")
+		maxWall    = flag.Duration("max-wall", 0, "for scenario-DSL runs: fail unless the run finishes within this wall-clock budget (0 = no budget)")
 	)
 	flag.Parse()
 
@@ -63,8 +66,7 @@ func main() {
 	case "sharednic":
 		os.Exit(runSharedNIC(*seed, *streams, *metricsOut))
 	default:
-		fmt.Fprintf(os.Stderr, "expdriver: unknown scenario %q (want 'soak' or 'sharednic')\n", *scenario)
-		os.Exit(2)
+		os.Exit(runScenario(*scenario, *seed, *parallel, *rig, *metricsOut, *maxWall))
 	}
 
 	// Process-wide metrics: the experiments run in-process, so the buffer

@@ -3,6 +3,7 @@ package cloudsim
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"adaptio/internal/xrand"
 )
@@ -50,6 +51,12 @@ type FleetStream struct {
 	CPUFactor float64
 	// Tenant is an owner label carried into the per-stream results.
 	Tenant string
+	// DemandMBps, if non-nil, is the stream's offered application load at
+	// simulated time t in MB/s: the stream sends at most this rate even
+	// when CPU and NIC would allow more (request-driven traffic instead
+	// of a saturating bulk sender). Negative values count as 0. Must be a
+	// pure function of t. Nil means a saturating sender.
+	DemandMBps func(tSec float64) float64
 }
 
 // FleetConfig describes a shared-NIC fleet run.
@@ -81,6 +88,9 @@ type FleetConfig struct {
 	// flaps itself, from the levels the schemes actually return — a
 	// scheme cannot game the flap metric by under-reporting.
 	FlapWindow int
+	// Env, if non-nil, applies time-varying environment perturbations:
+	// capacity curves, jitter, packet loss (see FleetEnv).
+	Env *FleetEnv
 	// Trace, if non-nil, receives one aggregate sample per window.
 	Trace func(FleetWindowSample)
 }
@@ -88,8 +98,14 @@ type FleetConfig struct {
 // FleetWindowSample is one decision window of a fleet run, aggregated.
 type FleetWindowSample struct {
 	Window   int
+	Time     float64 // simulated seconds at the start of the window
 	AppMBps  float64 // fleet-wide application-layer throughput
 	WireMBps float64 // fleet-wide wire-layer throughput (≤ NIC capacity)
+	// AppBytes and WireBytes are the window's exact fleet-wide byte
+	// totals (the integers the per-stream results accumulate), which is
+	// what the scenario engine's deterministic artifacts record.
+	AppBytes  int64
+	WireBytes int64
 }
 
 // FleetStreamResult is one stream's totals.
@@ -209,7 +225,31 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 	alloc := make([]float64, n)
 
 	for w := 0; w < cfg.Windows; w++ {
-		nicCap := cfg.NICMBps * nicRNG.NoiseFactor(cfg.NICSigma)
+		t := float64(w) * cfg.WindowSeconds
+
+		// Resolve the window's environment: capacity multiplier, jitter
+		// sigma and the loss model's parameters.
+		capMul, sigma, loss, rtt := 1.0, cfg.NICSigma, 0.0, 0.0
+		if cfg.Env != nil {
+			if cfg.Env.Capacity != nil {
+				capMul = cfg.Env.Capacity(t)
+				if capMul < 0 || math.IsNaN(capMul) {
+					capMul = 0
+				}
+			}
+			if cfg.Env.ExtraSigma != nil {
+				if es := cfg.Env.ExtraSigma(t); es > 0 {
+					sigma += es
+				}
+			}
+			if cfg.Env.Loss != nil {
+				loss = cfg.Env.Loss(t)
+			}
+			if cfg.Env.RTTSeconds != nil {
+				rtt = cfg.Env.RTTSeconds(t)
+			}
+		}
+		nicCap := cfg.NICMBps * capMul * nicRNG.NoiseFactor(sigma)
 
 		for i, s := range states {
 			kind := s.cfg.Kind(s.sentApp)
@@ -219,6 +259,23 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 			// the stream's core share (RunTransfer's cpu stage).
 			comp := p.CompMBps[kind] * s.cfg.CPUFactor * s.rng.NoiseFactor(cfg.CPUSigma)
 			app := 1 / (1/comp + r/wireCPUMBps)
+			// Offered-load cap: a request-driven stream sends no faster
+			// than its demand curve, however fast its pipeline is.
+			if s.cfg.DemandMBps != nil {
+				if dm := s.cfg.DemandMBps(t); !(dm > 0) {
+					app = 0
+				} else if dm < app {
+					app = dm
+				}
+			}
+			// Loss cap: on a lossy link each stream's wire rate is bounded
+			// by the Mathis throughput of its effective RTT, which includes
+			// the level's per-block compression latency.
+			if loss > 0 {
+				if capWire := lossWireCapMBps(loss, rtt, comp); app*r > capWire {
+					app = capWire / r
+				}
+			}
 			cpuApp[i] = app
 			ratio[i] = r
 			demand[i] = app * r
@@ -228,6 +285,7 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 		waterFill(nicCap, demand, weight, alloc)
 
 		var aggApp, aggWire float64
+		var winAppBytes, winWireBytes int64
 		for i, s := range states {
 			achievedWire := alloc[i]
 			achievedApp := achievedWire / ratio[i]
@@ -239,6 +297,8 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 			s.sentApp += appBytes
 			s.appBytes += appBytes
 			s.wireBytes += wireBytes
+			winAppBytes += appBytes
+			winWireBytes += wireBytes
 			aggApp += achievedApp
 			aggWire += achievedWire
 
@@ -267,7 +327,11 @@ func RunFleet(cfg FleetConfig) (FleetResult, error) {
 			}
 		}
 		if cfg.Trace != nil {
-			cfg.Trace(FleetWindowSample{Window: w, AppMBps: aggApp, WireMBps: aggWire})
+			cfg.Trace(FleetWindowSample{
+				Window: w, Time: t,
+				AppMBps: aggApp, WireMBps: aggWire,
+				AppBytes: winAppBytes, WireBytes: winWireBytes,
+			})
 		}
 	}
 

@@ -32,6 +32,7 @@ import (
 
 	"adaptio/internal/corpus"
 	"adaptio/internal/obs"
+	"adaptio/internal/trace"
 	"adaptio/internal/xrand"
 )
 
@@ -71,6 +72,11 @@ type Config struct {
 	// (cycle counters, latency histogram) under this scope
 	// (conventionally "loadgen").
 	Obs *obs.Scope
+	// Recorder, if non-nil, receives every completed cycle's payload
+	// bytes attributed to the decision window it finished in, producing a
+	// replayable workload trace (cmd/acload -trace-out feeds it to
+	// internal/scenario's trace replay).
+	Recorder *trace.Recorder
 	// Logf, if non-nil, receives progress and error lines.
 	Logf func(format string, args ...any)
 }
@@ -293,7 +299,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 			plan := NewPlan(c, w)
 			for ctx.Err() == nil && takeOp() {
 				kind, size, think := plan.Next()
-				cycle(ctx, c, m, payloads[kind][:size])
+				cycle(ctx, c, m, payloads[kind][:size], start)
 				if think > 0 {
 					select {
 					case <-ctx.Done():
@@ -335,7 +341,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 // cycle runs one open → send → echo → close round and classifies the
 // outcome: completed (full, verified echo), shed (closed before any echo
 // byte — the tunnel refused us), or failed (broken mid-transfer).
-func cycle(ctx context.Context, c Config, m *metrics, payload []byte) {
+func cycle(ctx context.Context, c Config, m *metrics, payload []byte, runStart time.Time) {
 	start := time.Now()
 	d := net.Dialer{Timeout: c.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", c.Addr)
@@ -402,6 +408,9 @@ func cycle(ctx context.Context, c Config, m *metrics, payload []byte) {
 	default:
 		m.completed.Inc()
 		m.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		if c.Recorder != nil {
+			c.Recorder.Record(time.Since(runStart).Seconds(), int64(len(payload)))
+		}
 	}
 }
 

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+)
+
+// secs builds a Duration from seconds for the built-in definitions.
+func secs(s float64) Duration { return Duration(time.Duration(s * float64(time.Second))) }
+
+// builtins returns the built-in scenario catalog, freshly constructed so
+// callers can mutate their copy. Each one exists to pin a qualitative claim
+// from the paper's world view under a workload class the paper never ran
+// (see claims.go for the claims and docs/scenarios.md for the catalog):
+//
+//	diurnal            sinusoidal request load over a heterogeneous fleet
+//	heavytail          bursty, heavy-tailed compressibility mix
+//	lossy              a WAN-ish link that degrades to 2% packet loss
+//	flaps              a NIC whose capacity square-waves (tc-like flapping)
+//	hetfleet           weighted tenants on skewed-CPU hosts
+//	diurnal-lossy-1000 the nightly scale scenario: a 1000-VM fleet through
+//	                   a simulated 3-hour diurnal cycle with an evening
+//	                   loss episode, finishing in CI minutes
+func builtins() []*Scenario {
+	return []*Scenario{
+		{
+			Name:          "diurnal",
+			Description:   "48 request-driven VMs through two 30-min diurnal load cycles on a shared 400 MB/s NIC; adaptive compression must win the troughs (slow hosts cannot afford HEAVY) without flapping through the peaks.",
+			Windows:       1800, // 1 h simulated at the paper's 2 s windows
+			WindowSeconds: 2,
+			NICMBps:       400,
+			NICSigma:      0.05,
+			CPUSigma:      0.02,
+			Fleet: []Group{{
+				Name:  "web",
+				Count: 48,
+				CPU:   &Span{Min: 0.35, Max: 1.0},
+			}},
+			Demand: &Curve{
+				Kind:      "diurnal",
+				Value:     12,  // midline MB/s per stream
+				Amplitude: 0.6, // trough 4.8, peak 19.2
+				Period:    secs(1800),
+				Phase:     0.75, // start at the trough
+			},
+		},
+		{
+			Name:          "heavytail",
+			Description:   "64 VMs with a heavy-tailed compressibility mix (mostly fax-like HIGH with entropy outliers) and hash-scheduled demand bursts on the paper's 111 MB/s NIC; adaptive must track the best static choice.",
+			Windows:       600, // 20 min simulated
+			WindowSeconds: 2,
+			NICMBps:       111,
+			NICSigma:      0.05,
+			CPUSigma:      0.03,
+			MixChunkMB:    16,
+			Fleet: []Group{{
+				Name:  "batch",
+				Count: 64,
+				CPU:   &Span{Min: 0.5, Max: 1.0},
+				Mix:   "high=8,moderate=3,low=1",
+			}},
+			Demand: &Curve{
+				Kind:  "burst",
+				Value: 2,  // baseline MB/s per stream
+				High:  30, // burst level
+				Every: secs(120),
+				Width: secs(20),
+				Prob:  0.35,
+			},
+		},
+		{
+			Name:          "lossy",
+			Description:   "32 saturating senders on the paper's NIC; at t=120 s the shared link degrades to 2% packet loss at 15 ms RTT. Loss-limited TCP throughput is inversely proportional to effective RTT, and HEAVY's per-block compression latency dominates it, so LIGHT overtakes HEAVY.",
+			Windows:       300, // 10 min simulated
+			WindowSeconds: 2,
+			NICMBps:       111,
+			NICSigma:      0.03,
+			CPUSigma:      0.02,
+			Fleet: []Group{{
+				Name: "replicas",
+				// Healthy hosts: with full-speed CPUs, HEAVY's ratio
+				// advantage wins the quiet contended NIC, which is what
+				// makes the loss-induced LIGHT overtake a real crossover.
+				Count: 32,
+				CPU:   &Span{Min: 0.9, Max: 1.1},
+			}},
+			Link: &Link{
+				Loss:  &Curve{Kind: "step", Value: 0, To: 0.02, At: secs(120)},
+				RTTms: &Curve{Kind: "constant", Value: 15},
+			},
+		},
+		{
+			Name:          "flaps",
+			Description:   "48 saturating senders on a NIC whose capacity square-waves between 100% and 35% every 80 s (a flapping uplink); solo deciders chase every edge while the coordinator's hysteresis dwell bounds per-stream switches.",
+			Windows:       480, // 16 min simulated
+			WindowSeconds: 2,
+			NICMBps:       111,
+			NICSigma:      0.04,
+			CPUSigma:      0.02,
+			Fleet: []Group{{
+				Name:  "sync",
+				Count: 48,
+				CPU:   &Span{Min: 0.4, Max: 1.0},
+			}},
+			Link: &Link{
+				Flap: &Curve{Kind: "square", High: 1.0, Low: 0.35, Period: secs(80), Duty: 0.5},
+			},
+		},
+		{
+			Name:          "hetfleet",
+			Description:   "A weighted two-tenant fleet on skewed-CPU hosts: 10 gold VMs at weight 3 against 50 silver VMs at weight 1, all saturating. Weighted fairness must hold end to end: gold per-stream goodput stays a multiple of silver's.",
+			Windows:       240, // 8 min simulated
+			WindowSeconds: 2,
+			NICMBps:       111,
+			NICSigma:      0.05,
+			CPUSigma:      0.03,
+			Fleet: []Group{
+				{
+					Name:   "gold",
+					Tenant: "gold",
+					Count:  10,
+					Weight: 3,
+					CPU:    &Span{Min: 0.9, Max: 1.1},
+				},
+				{
+					Name:   "silver",
+					Tenant: "silver",
+					Count:  50,
+					Weight: 1,
+					CPU:    &Span{Min: 0.3, Max: 1.0},
+				},
+			},
+		},
+		{
+			Name:          "diurnal-lossy-1000",
+			Description:   "The nightly scale gate: 1000 VMs in four tenant tiers through a 3-hour diurnal cycle on a 2 GB/s aggregation link, with an evening episode of 1% packet loss. Must finish orders of magnitude faster than real time.",
+			Windows:       5400, // 3 h simulated
+			WindowSeconds: 2,
+			NICMBps:       2000,
+			NICSigma:      0.05,
+			CPUSigma:      0.03,
+			Fleet: []Group{
+				{Name: "gold", Tenant: "gold", Count: 100, Weight: 2, CPU: &Span{Min: 0.8, Max: 1.2}, Mix: "moderate=3,high=1"},
+				{Name: "web", Tenant: "web", Count: 400, Weight: 1, CPU: &Span{Min: 0.35, Max: 1.0}},
+				{Name: "batch", Tenant: "batch", Count: 300, Weight: 1, CPU: &Span{Min: 0.5, Max: 1.0}, Mix: "high=4,moderate=2,low=1"},
+				{Name: "logs", Tenant: "logs", Count: 200, Weight: 1, CPU: &Span{Min: 0.4, Max: 0.9}, Mix: "moderate=4,low=1"},
+			},
+			Demand: &Curve{
+				Kind:      "diurnal",
+				Value:     6,
+				Amplitude: 0.6, // trough 2.4, peak 9.6 MB/s per stream
+				Period:    secs(10800),
+				Phase:     0.75,
+			},
+			Link: &Link{
+				// The "evening" loss episode: 1% loss for the middle hour.
+				Loss: &Curve{Kind: "square", High: 0.01, Low: 0, Period: secs(10800), Duty: 0.34, Phase: 0.33},
+				RTTms: &Curve{
+					Kind: "constant", Value: 10,
+				},
+			},
+		},
+	}
+}
+
+// Builtins returns fresh copies of all built-in scenarios in catalog order.
+func Builtins() []*Scenario { return builtins() }
+
+// BuiltinNames returns the built-in scenario names, sorted.
+func BuiltinNames() []string {
+	bs := builtins()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns a fresh copy of the named built-in, or nil.
+func Lookup(name string) *Scenario {
+	for _, b := range builtins() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}

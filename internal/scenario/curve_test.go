@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func sec(s float64) Duration { return Duration(time.Duration(s * float64(time.Second))) }
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCurveEval(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Curve
+		t    float64
+		want float64
+	}{
+		{"constant", Curve{Kind: "constant", Value: 3}, 123, 3},
+		{"diurnal peak", Curve{Kind: "diurnal", Value: 10, Amplitude: 0.5, Period: sec(100)}, 25, 15},
+		{"diurnal trough", Curve{Kind: "diurnal", Value: 10, Amplitude: 0.5, Period: sec(100)}, 75, 5},
+		{"diurnal phase", Curve{Kind: "diurnal", Value: 10, Amplitude: 0.5, Period: sec(100), Phase: 0.5}, 75, 15},
+		{"step before", Curve{Kind: "step", Value: 1, To: 9, At: sec(50)}, 49.9, 1},
+		{"step after", Curve{Kind: "step", Value: 1, To: 9, At: sec(50)}, 50, 9},
+		{"ramp before", Curve{Kind: "ramp", Value: 1, To: 3, At: sec(10), Over: sec(20)}, 5, 1},
+		{"ramp middle", Curve{Kind: "ramp", Value: 1, To: 3, At: sec(10), Over: sec(20)}, 20, 2},
+		{"ramp after", Curve{Kind: "ramp", Value: 1, To: 3, At: sec(10), Over: sec(20)}, 40, 3},
+		{"square high", Curve{Kind: "square", High: 7, Low: 2, Period: sec(10), Duty: 0.3}, 2, 7},
+		{"square low", Curve{Kind: "square", High: 7, Low: 2, Period: sec(10), Duty: 0.3}, 5, 2},
+		{"square next period", Curve{Kind: "square", High: 7, Low: 2, Period: sec(10), Duty: 0.3}, 12, 7},
+		{"product", Curve{Kind: "product", Factors: []Curve{
+			{Kind: "constant", Value: 4},
+			{Kind: "step", Value: 0.5, To: 1, At: sec(100)},
+		}}, 0, 2},
+		{"nil-safe unknown kind", Curve{Kind: "wavelet"}, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.c.eval(tc.t, 1); !almost(got, tc.want) {
+				t.Fatalf("eval(%v) = %v, want %v", tc.t, got, tc.want)
+			}
+		})
+	}
+	var nilCurve *Curve
+	if got := nilCurve.eval(5, 1); got != 0 {
+		t.Fatalf("nil curve eval = %v, want 0", got)
+	}
+	if nilCurve.fn(1) != nil || nilCurve.scaled(1, 2) != nil {
+		t.Fatal("nil curve must compile to nil hooks")
+	}
+}
+
+func TestBurstCurve(t *testing.T) {
+	c := Curve{Kind: "burst", Value: 1, High: 10, Every: sec(10), Width: sec(4), Prob: 1}
+	if got := c.eval(2, 7); got != 10 {
+		t.Fatalf("inside burst window with prob 1: got %v, want 10", got)
+	}
+	if got := c.eval(6, 7); got != 1 {
+		t.Fatalf("past burst width: got %v, want baseline 1", got)
+	}
+	c.Prob = 0
+	if got := c.eval(2, 7); got != 1 {
+		t.Fatalf("prob 0: got %v, want baseline 1", got)
+	}
+
+	// The per-slot coin is a pure function of (seed, slot): identical
+	// across calls, and its long-run burst frequency tracks Prob.
+	c.Prob = 0.3
+	bursts := 0
+	for slot := 0; slot < 2000; slot++ {
+		t0 := float64(slot)*10 + 1
+		a, b := c.eval(t0, 42), c.eval(t0, 42)
+		if a != b {
+			t.Fatalf("slot %d: eval not deterministic: %v vs %v", slot, a, b)
+		}
+		if a == 10 {
+			bursts++
+		}
+	}
+	if f := float64(bursts) / 2000; f < 0.25 || f > 0.35 {
+		t.Fatalf("burst frequency %v far from prob 0.3", f)
+	}
+	// Different seeds decorrelate the schedule.
+	same := 0
+	for slot := 0; slot < 2000; slot++ {
+		t0 := float64(slot)*10 + 1
+		if (c.eval(t0, 1) == 10) == (c.eval(t0, 2) == 10) {
+			same++
+		}
+	}
+	if same == 2000 {
+		t.Fatal("burst schedules identical across different seeds")
+	}
+}
+
+func TestCurveValidateRejects(t *testing.T) {
+	deep := Curve{Kind: "constant", Value: 1}
+	for i := 0; i < MaxCurveDepth+1; i++ {
+		deep = Curve{Kind: "product", Factors: []Curve{deep}}
+	}
+	manyFactors := make([]Curve, MaxCurveFactors+1)
+	for i := range manyFactors {
+		manyFactors[i] = Curve{Kind: "constant", Value: 1}
+	}
+	cases := []struct {
+		name string
+		c    Curve
+		mode curveMode
+	}{
+		{"unknown kind", Curve{Kind: "wavelet"}, curveDemand},
+		{"negative value", Curve{Kind: "constant", Value: -1}, curveDemand},
+		{"NaN value", Curve{Kind: "constant", Value: math.NaN()}, curveDemand},
+		{"over mode ceiling", Curve{Kind: "constant", Value: 0.9}, curveLoss},
+		{"diurnal no period", Curve{Kind: "diurnal", Value: 1}, curveDemand},
+		{"diurnal amplitude > 1", Curve{Kind: "diurnal", Value: 1, Amplitude: 2, Period: sec(10)}, curveDemand},
+		{"diurnal peak over ceiling", Curve{Kind: "diurnal", Value: 0.3, Amplitude: 1, Period: sec(10)}, curveLoss},
+		{"ramp no over", Curve{Kind: "ramp", Value: 1, To: 2}, curveDemand},
+		{"square duty 1", Curve{Kind: "square", High: 1, Low: 0, Period: sec(10), Duty: 1}, curveDemand},
+		{"square no period", Curve{Kind: "square", High: 1, Low: 0, Duty: 0.5}, curveDemand},
+		{"burst width > every", Curve{Kind: "burst", Value: 1, High: 2, Every: sec(5), Width: sec(6), Prob: 0.5}, curveDemand},
+		{"burst prob > 1", Curve{Kind: "burst", Value: 1, High: 2, Every: sec(5), Width: sec(2), Prob: 1.5}, curveDemand},
+		{"product empty", Curve{Kind: "product"}, curveDemand},
+		{"product too many factors", Curve{Kind: "product", Factors: manyFactors}, curveDemand},
+		{"product too deep", deep, curveDemand},
+		{"negative duration literal", Curve{Kind: "step", Value: 1, To: 2, At: Duration(-time.Second)}, curveDemand},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.validate("test", tc.mode)
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("validate accepted %+v (err %v)", tc.c, err)
+			}
+		})
+	}
+}
+
+// TestCurveValidatedNeverNegative spot-checks the eval contract claims rely
+// on: a curve that passes validation emits only finite, non-negative levels.
+func TestCurveValidatedNeverNegative(t *testing.T) {
+	curves := []Curve{
+		{Kind: "diurnal", Value: 5, Amplitude: 1, Period: sec(60), Phase: 0.9},
+		{Kind: "square", High: 3, Low: 0, Period: sec(7), Duty: 0.2, Phase: 0.99},
+		{Kind: "burst", Value: 0, High: 8, Every: sec(3), Width: sec(1), Prob: 0.5},
+		{Kind: "ramp", Value: 4, To: 0, At: sec(5), Over: sec(10)},
+	}
+	for _, c := range curves {
+		c := c
+		if err := c.validate("test", curveDemand); err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		for ti := 0; ti < 1000; ti++ {
+			v := c.eval(float64(ti)*0.7, 3)
+			if badFloat(v) || v < 0 {
+				t.Fatalf("%s curve emitted %v at t=%v", c.Kind, v, float64(ti)*0.7)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRecorderWindows(t *testing.T) {
+	r := NewRecorder(1)
+	r.Record(0.1, 100)
+	r.Record(0.9, 50)
+	r.Record(2.6, 30)
+
+	// Invalid reports are dropped, never panic.
+	r.Record(-1, 10)
+	r.Record(math.NaN(), 10)
+	r.Record(0.5, -10)
+	r.Record(1e12, 10) // beyond the window cap
+
+	got := r.Snapshot()
+	want := []WindowRecord{
+		{AppBytes: 150, Cycles: 2},
+		{},
+		{AppBytes: 30, Cycles: 1},
+	}
+	if got.Version != WindowedTraceVersion || got.WindowSeconds != 1 {
+		t.Fatalf("snapshot header = %+v", got)
+	}
+	if !reflect.DeepEqual(got.Windows, want) {
+		t.Fatalf("windows = %+v, want %+v", got.Windows, want)
+	}
+
+	// Snapshot is a copy: later records must not mutate it.
+	r.Record(0.2, 1)
+	if got.Windows[0].AppBytes != 150 {
+		t.Fatal("snapshot aliased the recorder's live buffer")
+	}
+}
+
+func TestRecorderDefaultsAndConcurrency(t *testing.T) {
+	if r := NewRecorder(-3); r.Snapshot().WindowSeconds != 1 {
+		t.Fatal("non-positive window seconds should clamp to 1")
+	}
+	var nilRec *Recorder
+	nilRec.Record(1, 1) // must not panic
+
+	r := NewRecorder(0.5)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Record(float64(j%10)*0.3, 7)
+			}
+		}()
+	}
+	wg.Wait()
+	wt := r.Snapshot()
+	if total := wt.TotalAppBytes(); total != 8*1000*7 {
+		t.Fatalf("concurrent records lost bytes: total %d, want %d", total, 8*1000*7)
+	}
+}
+
+func TestWindowedTraceSaveLoadRoundTrip(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(0.5, 1000)
+	r.Record(3.9, 500)
+	wt := r.Snapshot()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := wt.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadWindowed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, wt) {
+		t.Fatalf("round trip changed the trace: %+v vs %+v", back, wt)
+	}
+}
+
+func TestWindowedTraceValidate(t *testing.T) {
+	ok := &WindowedTrace{Version: WindowedTraceVersion, WindowSeconds: 2, Windows: []WindowRecord{{AppBytes: 1, Cycles: 1}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		wt   *WindowedTrace
+	}{
+		{"nil", nil},
+		{"bad version", &WindowedTrace{Version: 0, WindowSeconds: 2, Windows: ok.Windows}},
+		{"zero window seconds", &WindowedTrace{Version: WindowedTraceVersion, WindowSeconds: 0, Windows: ok.Windows}},
+		{"NaN window seconds", &WindowedTrace{Version: WindowedTraceVersion, WindowSeconds: math.NaN(), Windows: ok.Windows}},
+		{"huge window seconds", &WindowedTrace{Version: WindowedTraceVersion, WindowSeconds: 4000, Windows: ok.Windows}},
+		{"empty", &WindowedTrace{Version: WindowedTraceVersion, WindowSeconds: 2}},
+		{"negative counts", &WindowedTrace{Version: WindowedTraceVersion, WindowSeconds: 2, Windows: []WindowRecord{{AppBytes: -1}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.wt.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", tc.wt)
+			}
+		})
+	}
+	if err := (&WindowedTrace{Version: 0, WindowSeconds: 2, Windows: ok.Windows}).Save(filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("Save wrote an invalid trace")
+	}
+}
