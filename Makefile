@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short test-shape test-obs test-coord test-scenario bench bench-alloc bench-compare bench-throughput bench-throughput-compare bench-relay-gate alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
+.PHONY: all build test test-race test-short test-shape test-obs test-coord test-scenario test-decider bench bench-alloc bench-compare bench-throughput bench-throughput-compare bench-relay-gate bench-decider-gate alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
 
 all: build test
 
@@ -52,6 +52,17 @@ test-scenario:
 	$(GO) test -run 'TestScenario' -count=1 -v ./internal/experiments/
 	$(GO) run ./cmd/expdriver -scenario flaps -max-wall 2m
 
+# Decider policy gates (docs/deciders.md): the core policy suites under
+# -race (golden AlgorithmOne trace, all-policy convergence + determinism),
+# the per-policy Table II matrix with its two-axis bound and CheatStick
+# sentinel, the six-builtin scenario bound, and a 32-stream end-to-end
+# smoke driving the lossy builtin through expdriver with -decider bandit.
+test-decider:
+	$(GO) test -race -count=1 ./internal/core/
+	$(GO) test -run 'TestDeciderMatrix|TestCheatStickFailsMatrixBound' -count=1 -v ./internal/experiments/
+	$(GO) test -run 'TestBuiltinsDeciderBound|TestCheatStickFailsScenarioBound|TestScenarioDeciderField' -short -count=1 ./internal/scenario/
+	$(GO) run ./cmd/expdriver -scenario lossy -decider bandit -max-wall 2m
+
 # One iteration of every paper table/figure benchmark with rendered output.
 bench:
 	$(GO) test -bench . -benchmem -benchtime=1x -v .
@@ -89,6 +100,14 @@ bench-throughput-compare:
 bench-relay-gate:
 	$(GO) test -run '^$$' -bench '^BenchmarkThroughputRelay' -benchtime=1s -count=2 . | tee bench_relay_output.txt
 	$(GO) run ./cmd/benchdiff -mode throughput -baseline BENCH_throughput.json -allow-missing bench_relay_output.txt
+
+# Decider-regression gate (docs/deciders.md): regenerate the deterministic
+# per-policy matrix artifact and fail if any policy's wasted-probe count
+# grew >15% or a cell's converged MB/s fell >15% against the committed
+# BENCH_decider.json baseline.
+bench-decider-gate:
+	$(GO) run ./cmd/expdriver -decider-matrix -json-out bench_decider_output.json
+	$(GO) run ./cmd/benchdiff -mode decider -baseline BENCH_decider.json bench_decider_output.json
 
 # The AllocsPerRun regression gates (serial round trip, presized decodes).
 alloc-gate:
@@ -142,4 +161,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_throughput_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_throughput_output.txt bench_decider_output.json

@@ -85,9 +85,17 @@ type Level = compress.Level
 // DeciderConfig configures a standalone Decider.
 type DeciderConfig = core.Config
 
-// Decider is the paper's Algorithm 1 as a reusable state machine, for
-// callers who want the decision model without the stream layer.
+// Decider is the pluggable level-selection policy interface; AlgorithmOne is
+// the paper's Algorithm 1 implementation, for callers who want the decision
+// model without the stream layer. NewPolicy constructs learned alternatives
+// by name.
 type Decider = core.Decider
+
+// AlgorithmOne is the paper-faithful Algorithm 1 policy.
+type AlgorithmOne = core.AlgorithmOne
+
+// PolicyConfig configures a policy built by NewPolicy.
+type PolicyConfig = core.PolicyConfig
 
 // Paper defaults.
 const (
@@ -129,9 +137,16 @@ func NewParallelReader(src io.Reader, workers int) (*ParallelReader, error) {
 	return stream.NewParallelReader(src, workers)
 }
 
-// NewDecider creates a standalone decision model.
-func NewDecider(cfg DeciderConfig) (*Decider, error) {
+// NewDecider creates a standalone paper-faithful decision model.
+func NewDecider(cfg DeciderConfig) (*AlgorithmOne, error) {
 	return core.NewDecider(cfg)
+}
+
+// NewPolicy constructs a level-selection policy by registry name: "algone"
+// (or empty) for the paper's Algorithm 1, "bandit" for the contextual-bandit
+// probe gate, "ewma" for the trend-predictive variant. See docs/deciders.md.
+func NewPolicy(name string, cfg PolicyConfig) (Decider, error) {
+	return core.NewPolicy(name, cfg)
 }
 
 // DefaultLadder returns the paper's four-level ladder: NO, LIGHT (fast

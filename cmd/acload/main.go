@@ -35,6 +35,7 @@ import (
 
 	"adaptio"
 	"adaptio/internal/block"
+	"adaptio/internal/core"
 	"adaptio/internal/corpus"
 	"adaptio/internal/loadgen"
 	"adaptio/internal/obs"
@@ -63,6 +64,8 @@ func main() {
 		window      = flag.Duration("window", 2*time.Second, "decision window t")
 		alpha       = flag.Float64("alpha", adaptio.DefaultAlpha, "tolerance band alpha")
 		static      = flag.Int("static", 1, "static compression level 0..3, or -1 for adaptive (default LIGHT: soak stresses connections, not the controller)")
+		decider     = flag.String("decider", "", "level-selection policy when -static -1: algone (default), bandit, or ewma")
+		deciderSeed = flag.Uint64("decider-seed", 0, "seed for stochastic -decider policies")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve the live JSON metrics snapshot over HTTP during the run")
 		metricsOut  = flag.String("metrics-out", "", "write the final {report, metrics} JSON to this file (CI artifact)")
@@ -75,6 +78,15 @@ func main() {
 	mix, err := corpus.ParseMix(*mixSpec)
 	if err != nil {
 		log.Fatalf("acload: %v", err)
+	}
+	if *decider != "" && !core.ValidPolicy(*decider) {
+		log.Fatalf("acload: unknown -decider %q (want one of %v)", *decider, core.PolicyNames())
+	}
+	if *decider != "" && *static != adaptio.Adaptive {
+		log.Fatalf("acload: -decider requires -static %d (a pinned level leaves nothing to decide)", adaptio.Adaptive)
+	}
+	if *decider != "" && *addr != "" {
+		log.Fatalf("acload: -decider only applies to the self-contained tunnel pair, not an external -addr entry")
 	}
 
 	reg := obs.NewRegistry()
@@ -102,6 +114,8 @@ func main() {
 			Window:        *window,
 			Alpha:         *alpha,
 			ShutdownGrace: *grace,
+			Decider:       *decider,
+			DeciderSeed:   *deciderSeed,
 			Logf:          nil,
 		}
 		if *static != adaptio.Adaptive {

@@ -26,19 +26,22 @@ import (
 	"adaptio"
 	"adaptio/internal/block"
 	"adaptio/internal/coord"
+	"adaptio/internal/core"
 	"adaptio/internal/obs"
 	"adaptio/internal/tunnel"
 )
 
 func main() {
 	var (
-		mode   = flag.String("mode", "", "entry (plain in, compressed out) or exit (compressed in, plain out)")
-		listen = flag.String("listen", "", "address to listen on")
-		target = flag.String("target", "", "address to forward to (exit endpoint or final service)")
-		window = flag.Duration("window", 2*time.Second, "decision window t")
-		alpha  = flag.Float64("alpha", adaptio.DefaultAlpha, "tolerance band alpha")
-		static = flag.Int("static", adaptio.Adaptive, "static level 0..3, or -1 for adaptive")
-		quiet  = flag.Bool("q", false, "suppress per-connection statistics")
+		mode        = flag.String("mode", "", "entry (plain in, compressed out) or exit (compressed in, plain out)")
+		listen      = flag.String("listen", "", "address to listen on")
+		target      = flag.String("target", "", "address to forward to (exit endpoint or final service)")
+		window      = flag.Duration("window", 2*time.Second, "decision window t")
+		alpha       = flag.Float64("alpha", adaptio.DefaultAlpha, "tolerance band alpha")
+		static      = flag.Int("static", adaptio.Adaptive, "static level 0..3, or -1 for adaptive")
+		decider     = flag.String("decider", "", "level-selection policy for adaptive mode: algone (default), bandit, or ewma")
+		deciderSeed = flag.Uint64("decider-seed", 0, "seed for stochastic -decider policies")
+		quiet       = flag.Bool("q", false, "suppress per-connection statistics")
 
 		passthrough = flag.Bool("passthrough", false, "relay raw bytes with no framing or compression (both endpoints must agree; -static/-window/-alpha/-coord do not apply)")
 		flushIvl    = flag.Duration("flush-interval", 0, "max time a partial block may wait for more bytes before being framed (0 = default 5ms, negative = only flush full blocks)")
@@ -76,7 +79,15 @@ func main() {
 		AcceptQueue:   *acceptQueue,
 		Passthrough:   *passthrough,
 		FlushInterval: *flushIvl,
+		Decider:       *decider,
+		DeciderSeed:   *deciderSeed,
 		Obs:           reg.Scope("tunnel"),
+	}
+	if *decider != "" && !core.ValidPolicy(*decider) {
+		log.Fatalf("actunnel: unknown -decider %q (want one of %v)", *decider, core.PolicyNames())
+	}
+	if *decider != "" && *static != adaptio.Adaptive {
+		log.Fatalf("actunnel: -decider is incompatible with -static (a pinned level leaves nothing to decide)")
 	}
 	if *metricsAddr != "" {
 		reg.PublishExpvar("adaptio")

@@ -6,7 +6,12 @@
 //     BENCH_alloc.json, as produced by `make bench-alloc`;
 //   - `-mode throughput` gates MB/s (and ns/op for benchmarks without a
 //     MB/s column) against BENCH_throughput.json, as produced by
-//     `make bench-throughput`.
+//     `make bench-throughput`;
+//   - `-mode decider` gates the decider policy matrix — wasted-probe counts
+//     and converged MB/s per Table II cell — against BENCH_decider.json.
+//     The input here is not `go test -bench` text but the benchfmt JSON
+//     artifact of `expdriver -decider-matrix -json-out`, which is
+//     deterministic in its seed; `make bench-decider-gate` runs the pair.
 //
 // It exists because CI must not depend on tools outside the repository:
 // benchstat needs an install step, benchdiff is `go run ./cmd/benchdiff`.
@@ -39,6 +44,15 @@
 // catches step-function regressions (a lost fast path, an accidental copy),
 // not single-digit drift — docs/performance.md discusses the calibration.
 //
+// The decider pass rule, per baseline entry (both axes gated so a policy
+// cannot buy probe economy with throughput or vice versa):
+//
+//	new wasted probes <= base*(1+regress) + slack   (default 15% + 2)
+//	new MB/s          >= base MB/s * (1-regress)
+//
+// at the alloc-style 15% default tolerance: the matrix is simulated and
+// seed-deterministic, so drift there is a behaviour change, not host noise.
+//
 // When the same benchmark appears several times (multiple -count runs), the
 // best reading is kept — minimum for B/op, allocs/op and ns/op, maximum for
 // MB/s: the gate measures the floor the code can reach, not scheduler
@@ -70,6 +84,11 @@ type measurement struct {
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 
+	// decider-mode metrics (benchfmt JSON artifacts only; bench text
+	// output never carries them).
+	Probes       int64 `json:"probes,omitempty"`
+	WastedProbes int64 `json:"wasted_probes,omitempty"`
+
 	// which column families the parsed input line actually carried
 	// (baseline entries don't need these: absent fields decode to zero).
 	hasMem   bool
@@ -89,6 +108,7 @@ type baselineFile struct {
 const (
 	modeAlloc      = "alloc"
 	modeThroughput = "throughput"
+	modeDecider    = "decider"
 )
 
 // options holds the gate mode and tolerances.
@@ -97,6 +117,7 @@ type options struct {
 	regress      float64 // multiplicative tolerance, e.g. 0.15
 	slackBytes   int64   // additive slack for B/op
 	slackAllocs  int64   // additive slack for allocs/op
+	slackProbes  int64   // additive slack for wasted probes
 	allowMissing bool
 }
 
@@ -104,17 +125,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
 	var (
-		mode         = flag.String("mode", modeAlloc, "gate mode: alloc (B/op, allocs/op) or throughput (MB/s, ns/op)")
+		mode         = flag.String("mode", modeAlloc, "gate mode: alloc (B/op, allocs/op), throughput (MB/s, ns/op), or decider (wasted probes, MB/s from a benchfmt JSON artifact)")
 		baselinePath = flag.String("baseline", "BENCH_alloc.json", "committed baseline file")
 		set          = flag.String("set", "current", "which baseline set to compare against")
-		regress      = flag.Float64("regress", -1, "tolerated regression fraction (default: 0.15 for alloc, 0.40 for throughput)")
+		regress      = flag.Float64("regress", -1, "tolerated regression fraction (default: 0.40 for throughput, 0.15 otherwise)")
 		slackBytes   = flag.Int64("slack-bytes", 512, "additive B/op slack (protects near-zero baselines from noise)")
 		slackAllocs  = flag.Int64("slack-allocs", 1, "additive allocs/op slack")
+		slackProbes  = flag.Int64("slack-probes", 2, "additive wasted-probe slack for -mode decider (protects near-zero baselines)")
 		allowMissing = flag.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the input")
 	)
 	flag.Parse()
-	if *mode != modeAlloc && *mode != modeThroughput {
-		log.Fatalf("unknown -mode %q (want %q or %q)", *mode, modeAlloc, modeThroughput)
+	if *mode != modeAlloc && *mode != modeThroughput && *mode != modeDecider {
+		log.Fatalf("unknown -mode %q (want %q, %q or %q)", *mode, modeAlloc, modeThroughput, modeDecider)
 	}
 	if *regress < 0 {
 		if *mode == modeThroughput {
@@ -140,7 +162,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	results, err := parseBench(in)
+	var results map[string]measurement
+	if *mode == modeDecider {
+		results, err = parseArtifact(in, *set)
+	} else {
+		results, err = parseBench(in)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -148,7 +175,7 @@ func main() {
 		log.Fatalf("no benchmark result lines found in %s", src)
 	}
 
-	opts := options{mode: *mode, regress: *regress, slackBytes: *slackBytes, slackAllocs: *slackAllocs, allowMissing: *allowMissing}
+	opts := options{mode: *mode, regress: *regress, slackBytes: *slackBytes, slackAllocs: *slackAllocs, slackProbes: *slackProbes, allowMissing: *allowMissing}
 	rows, failed := compare(base, results, opts)
 	fmt.Print(renderRows(rows, *set, opts))
 	if failed {
@@ -183,6 +210,34 @@ func loadBaseline(path, set string) (map[string]measurement, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%s: no benchmarks in baseline", path)
+	}
+	return out, nil
+}
+
+// parseArtifact extracts {name -> measurement} from a benchfmt JSON
+// artifact (the decider mode's input: `expdriver -decider-matrix -json-out`
+// output). Entries under the named set are taken verbatim — the artifact is
+// deterministic, so there is no best-of-N folding to do.
+func parseArtifact(r io.Reader, set string) (map[string]measurement, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("decider artifact: %w", err)
+	}
+	out := make(map[string]measurement, len(bf.Benchmarks))
+	for name, sets := range bf.Benchmarks {
+		raw, ok := sets[set]
+		if !ok {
+			return nil, fmt.Errorf("decider artifact: benchmark %q has no set %q", name, set)
+		}
+		var m measurement
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("decider artifact: benchmark %q: %w", name, err)
+		}
+		out[name] = m
 	}
 	return out, nil
 }
@@ -316,6 +371,17 @@ func compare(base, results map[string]measurement, opts options) ([]row, bool) {
 		}
 		r := row{name: name, base: b, got: got, verdict: verdictOK}
 		switch opts.mode {
+		case modeDecider:
+			// Both axes of the decider bound gate independently, mirroring
+			// the acceptance tests: probe economy must not regress past the
+			// tolerance, and the cells that carry throughput must hold it.
+			if exceeds(got.WastedProbes, b.WastedProbes, opts.regress, opts.slackProbes) {
+				r.reasons = append(r.reasons, fmt.Sprintf("wasted probes %d > %d+%.0f%%+%d",
+					got.WastedProbes, b.WastedProbes, opts.regress*100, opts.slackProbes))
+			}
+			if b.MBPerS > 0 && belowFloor(got.MBPerS, b.MBPerS, opts.regress) {
+				r.reasons = append(r.reasons, fmt.Sprintf("MB/s %.1f < %.1f-%.0f%%", got.MBPerS, b.MBPerS, opts.regress*100))
+			}
 		case modeThroughput:
 			// Every speed metric the baseline carries is gated on its own:
 			// the historical else-if here meant a benchmark with both
@@ -375,19 +441,27 @@ func failingNames(rows []row) []string {
 func renderRows(rows []row, set string, opts options) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "baseline set %q, mode %s, tolerance %.0f%%\n", set, opts.mode, opts.regress*100)
-	if opts.mode == modeThroughput {
+	switch opts.mode {
+	case modeThroughput:
 		fmt.Fprintf(&sb, "%-44s %12s %12s %14s %14s  %s\n",
 			"benchmark", "base MB/s", "got MB/s", "base ns/op", "got ns/op", "verdict")
-	} else {
+	case modeDecider:
+		fmt.Fprintf(&sb, "%-44s %12s %12s %14s %14s  %s\n",
+			"benchmark", "base wasted", "got wasted", "base MB/s", "got MB/s", "verdict")
+	default:
 		fmt.Fprintf(&sb, "%-44s %12s %12s %14s %14s  %s\n",
 			"benchmark", "base B/op", "got B/op", "base allocs", "got allocs", "verdict")
 	}
 	for _, r := range rows {
 		var bb, gb, ba, ga string
-		if opts.mode == modeThroughput {
+		switch opts.mode {
+		case modeThroughput:
 			bb, ba = fmtF(r.base.MBPerS, 2), fmtF(r.base.NsPerOp, 0)
 			gb, ga = fmtF(r.got.MBPerS, 2), fmtF(r.got.NsPerOp, 0)
-		} else {
+		case modeDecider:
+			bb, ba = strconv.FormatInt(r.base.WastedProbes, 10), fmtF(r.base.MBPerS, 2)
+			gb, ga = strconv.FormatInt(r.got.WastedProbes, 10), fmtF(r.got.MBPerS, 2)
+		default:
 			bb, ba = strconv.FormatInt(r.base.BytesPerOp, 10), strconv.FormatInt(r.base.AllocsPerOp, 10)
 			gb, ga = strconv.FormatInt(r.got.BytesPerOp, 10), strconv.FormatInt(r.got.AllocsPerOp, 10)
 		}

@@ -199,6 +199,92 @@ func TestCompareThroughputReportsAllRegressions(t *testing.T) {
 	}
 }
 
+const sampleArtifact = `{
+  "description": "decider policy matrix",
+  "benchmarks": {
+    "Decider/algone/high/bg0": {"current": {"mb_per_s": 55.2, "probes": 12, "wasted_probes": 4}},
+    "Decider/algone/totals":   {"current": {"probes": 170, "wasted_probes": 63}}
+  }
+}`
+
+func TestParseArtifact(t *testing.T) {
+	got, err := parseArtifact(strings.NewReader(sampleArtifact), "current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d entries, want 2: %+v", len(got), got)
+	}
+	if m := got["Decider/algone/high/bg0"]; m.MBPerS != 55.2 || m.Probes != 12 || m.WastedProbes != 4 {
+		t.Fatalf("cell entry = %+v, want {55.2 12 4}", m)
+	}
+	if m := got["Decider/algone/totals"]; m.WastedProbes != 63 || m.MBPerS != 0 {
+		t.Fatalf("totals entry = %+v, want wasted 63 and no MB/s", m)
+	}
+	if _, err := parseArtifact(strings.NewReader(sampleArtifact), "nonesuch"); err == nil {
+		t.Fatal("missing set name must be an error")
+	}
+	if _, err := parseArtifact(strings.NewReader("not json"), "current"); err == nil {
+		t.Fatal("malformed artifact must be an error")
+	}
+}
+
+func TestCompareDeciderMode(t *testing.T) {
+	base := map[string]measurement{
+		"Decider/bandit/high/bg0": {MBPerS: 50, WastedProbes: 10},
+		"Decider/bandit/totals":   {WastedProbes: 60},
+	}
+	opts := options{mode: modeDecider, regress: 0.15, slackProbes: 2}
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		results := map[string]measurement{
+			"Decider/bandit/high/bg0": {MBPerS: 48, WastedProbes: 11},
+			"Decider/bandit/totals":   {WastedProbes: 69},
+		}
+		if rows, failed := compare(base, results, opts); failed {
+			t.Fatalf("gate failed, rows: %+v", rows)
+		}
+	})
+
+	t.Run("probe regression fails", func(t *testing.T) {
+		results := map[string]measurement{
+			"Decider/bandit/high/bg0": {MBPerS: 50, WastedProbes: 10},
+			"Decider/bandit/totals":   {WastedProbes: 90},
+		}
+		rows, failed := compare(base, results, opts)
+		if !failed {
+			t.Fatalf("50%% wasted-probe growth must fail, rows: %+v", rows)
+		}
+		for _, r := range rows {
+			if r.name == "Decider/bandit/totals" && r.verdict != verdictFail {
+				t.Fatalf("totals verdict = %q, want FAIL", r.verdict)
+			}
+		}
+	})
+
+	t.Run("throughput collapse fails", func(t *testing.T) {
+		results := map[string]measurement{
+			"Decider/bandit/high/bg0": {MBPerS: 30, WastedProbes: 10},
+			"Decider/bandit/totals":   {WastedProbes: 60},
+		}
+		if _, failed := compare(base, results, opts); !failed {
+			t.Fatal("40% MB/s loss must fail the decider gate")
+		}
+	})
+
+	t.Run("probe slack protects near-zero baselines", func(t *testing.T) {
+		nearZero := map[string]measurement{"Decider/ewma/low/bg0": {MBPerS: 50, WastedProbes: 0}}
+		results := map[string]measurement{"Decider/ewma/low/bg0": {MBPerS: 50, WastedProbes: 2}}
+		if rows, failed := compare(nearZero, results, opts); failed {
+			t.Fatalf("+2 wasted on a zero baseline must stay within slack, rows: %+v", rows)
+		}
+		results["Decider/ewma/low/bg0"] = measurement{MBPerS: 50, WastedProbes: 3}
+		if _, failed := compare(nearZero, results, opts); !failed {
+			t.Fatal("+3 wasted on a zero baseline must exceed the slack")
+		}
+	})
+}
+
 func TestExceeds(t *testing.T) {
 	cases := []struct {
 		got, base int64

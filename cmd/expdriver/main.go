@@ -51,6 +51,9 @@ func main() {
 		liveProf   = flag.Bool("live-profiles", false, "drive Table II with profiles measured live from this repo's codecs instead of the paper-derived reference")
 		csvDir     = flag.String("csv", "", "also write each experiment's raw data as CSV into this directory")
 		scenario   = flag.String("scenario", "", "run a runtime scenario instead of the paper experiments: 'soak' (docs/scaling.md), 'sharednic' (docs/coordination.md), a built-in scenario-DSL name (diurnal, heavytail, lossy, flaps, hetfleet, diurnal-lossy-1000 — docs/scenarios.md), or a path to a scenario JSON file")
+		decider    = flag.String("decider", "", "for scenario-DSL runs: level-selection policy driving the adaptive variant (algone, bandit, ewma — docs/deciders.md)")
+		dmatrix    = flag.Bool("decider-matrix", false, "run the Table II completion-time matrix under every registered decider policy plus the CheatStick sentinel (docs/deciders.md)")
+		jsonOut    = flag.String("json-out", "", "for -decider-matrix: write the benchfmt JSON artifact to this file (schema of BENCH_decider.json, gated by cmd/benchdiff -mode decider)")
 		streams    = flag.Int("streams", 128, "fleet size for -scenario sharednic")
 		metricsOut = flag.String("metrics-out", "", "for runtime scenarios: write the JSON result artifact to this file (CI artifact)")
 		parallel   = flag.Int("parallel", 4, "for scenario-DSL runs: variants simulated concurrently (results are byte-identical for any value)")
@@ -59,14 +62,21 @@ func main() {
 	)
 	flag.Parse()
 
+	if *dmatrix {
+		os.Exit(runDeciderMatrix(*seed, *jsonOut))
+	}
 	switch *scenario {
 	case "":
+		if *decider != "" {
+			fmt.Fprintln(os.Stderr, "expdriver: -decider only applies to scenario-DSL runs (-scenario <name|file>)")
+			os.Exit(2)
+		}
 	case "soak":
 		os.Exit(runSoak(*seed))
 	case "sharednic":
 		os.Exit(runSharedNIC(*seed, *streams, *metricsOut))
 	default:
-		os.Exit(runScenario(*scenario, *seed, *parallel, *rig, *metricsOut, *maxWall))
+		os.Exit(runScenario(*scenario, *seed, *parallel, *rig, *decider, *metricsOut, *maxWall))
 	}
 
 	// Process-wide metrics: the experiments run in-process, so the buffer

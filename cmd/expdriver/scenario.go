@@ -15,9 +15,12 @@ import (
 // prints the variant table plus the claim checklist, optionally writes the
 // deterministic JSON artifact, and enforces the wall-clock budget — the CI
 // gate that the simulator stays orders of magnitude faster than the
-// workloads it models. Exit codes: 0 all claims pass within budget, 1 a
-// claim or the budget failed, 2 usage/decode errors.
-func runScenario(nameOrPath string, seed uint64, parallel int, rigName, metricsOut string, maxWall time.Duration) int {
+// workloads it models. A non-empty decider overrides the scenario's
+// level-selection policy for the adaptive variant (docs/deciders.md).
+// Exit codes: 0 all claims pass within budget, 1 a claim or the budget
+// failed (an empty claim set counts as a failure: a run that gates nothing
+// must not pass CI), 2 usage/decode errors.
+func runScenario(nameOrPath string, seed uint64, parallel int, rigName, decider, metricsOut string, maxWall time.Duration) int {
 	rig, err := scenario.ParseRig(rigName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
@@ -30,6 +33,13 @@ func runScenario(nameOrPath string, seed uint64, parallel int, rigName, metricsO
 	}
 	if sc.Seed == 0 {
 		sc.Seed = seed
+	}
+	if decider != "" {
+		sc.Decider = decider
+		if err := sc.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: %v\n", err)
+			return 2
+		}
 	}
 
 	start := time.Now()
@@ -47,6 +57,9 @@ func runScenario(nameOrPath string, seed uint64, parallel int, rigName, metricsO
 	fmt.Printf("Scenario %q (%s): %d streams, %d x %.0f s windows = %s simulated, seed %d",
 		res.Scenario, kind, res.Streams, res.Windows, res.WindowSeconds,
 		(time.Duration(res.SimulatedSeconds) * time.Second).String(), res.Seed)
+	if res.Decider != "" {
+		fmt.Printf(", decider %q", res.Decider)
+	}
 	if rig != scenario.RigNone {
 		fmt.Printf(", RIG %q (sentinel run: claims are EXPECTED to fail)", rig)
 	}
@@ -74,9 +87,6 @@ func runScenario(nameOrPath string, seed uint64, parallel int, rigName, metricsO
 		}
 		fmt.Printf("  claim %-32s %s  (%s)\n", c.Name, status, c.Detail)
 	}
-	if len(res.Claims) == 0 && builtin {
-		fmt.Println("  (no claims registered)")
-	}
 
 	speedup := 0.0
 	if wall > 0 {
@@ -99,6 +109,14 @@ func runScenario(nameOrPath string, seed uint64, parallel int, rigName, metricsO
 	}
 
 	code := 0
+	if len(res.Claims) == 0 {
+		// An empty claim set used to print "(no claims registered)" and
+		// exit 0 — so a misnamed builtin or a claimless scenario file
+		// sailed through CI having verified nothing. Gating nothing is a
+		// failure, not a pass.
+		fmt.Printf("scenario %s: FAIL: no claims registered — the run verified nothing\n", res.Scenario)
+		code = 1
+	}
 	if !res.ClaimsPass() {
 		var failed []string
 		for _, c := range res.Claims {

@@ -21,7 +21,11 @@ type Measurement struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
-	Note        string  `json:"note,omitempty"`
+	// Probes and WastedProbes carry decider probe economics (the
+	// cmd/benchdiff decider gate's regression axis).
+	Probes       int64  `json:"probes,omitempty"`
+	WastedProbes int64  `json:"wasted_probes,omitempty"`
+	Note         string `json:"note,omitempty"`
 }
 
 // File is a whole baseline/artifact document: benchmark name -> set name ->

@@ -108,6 +108,17 @@ type Config struct {
 	// means the paper's default.
 	Alpha float64
 
+	// SoloPolicy names the core policy (core.PolicyNames) each stream's
+	// detach fallback decider is built from; empty means the
+	// paper-faithful default (core.PolicyAlgorithmOne). The policy is
+	// constructed per stream, seeded from SoloSeed xor a per-stream
+	// counter so stochastic policies stay deterministic per fleet.
+	SoloPolicy string
+
+	// SoloSeed seeds stochastic solo policies (ignored by deterministic
+	// ones). Streams registered later fork distinct seeds from it.
+	SoloSeed uint64
+
 	// Obs, if non-nil, is the scope the coordinator registers its metrics
 	// under (conventionally "coord"). Nil keeps the coordinator fully
 	// functional with unregistered metrics.
@@ -180,6 +191,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.FlapWindow < 0 {
 		return c, fmt.Errorf("coord: negative flap window %d", c.FlapWindow)
 	}
+	if c.SoloPolicy != "" && !core.ValidPolicy(c.SoloPolicy) {
+		return c, fmt.Errorf("coord: unknown solo policy %q (want one of %v)", c.SoloPolicy, core.PolicyNames())
+	}
 	return c, nil
 }
 
@@ -214,6 +228,7 @@ type Coordinator struct {
 	mu         sync.Mutex
 	streams    map[*Stream]struct{}
 	sumWeights float64
+	soloSeq    uint64 // per-stream seed counter for stochastic solo policies
 }
 
 // New creates a Coordinator for the given configuration.
@@ -274,6 +289,10 @@ func (c *Coordinator) Register(sc StreamConfig) *Stream {
 	if w <= 0 {
 		w = 1
 	}
+	c.mu.Lock()
+	seq := c.soloSeq
+	c.soloSeq++
+	c.mu.Unlock()
 	s := &Stream{
 		coord:         c,
 		weight:        w,
@@ -281,9 +300,10 @@ func (c *Coordinator) Register(sc StreamConfig) *Stream {
 		ratioDrift:    1,
 		compDrift:     1,
 		lastSwitchWin: -1,
-		solo: core.MustNewDecider(core.Config{
+		solo: core.MustNewPolicy(c.cfg.SoloPolicy, core.PolicyConfig{
 			Levels: c.cfg.Levels,
 			Alpha:  c.cfg.Alpha,
+			Seed:   c.cfg.SoloSeed ^ seq<<17,
 		}),
 	}
 	c.mu.Lock()

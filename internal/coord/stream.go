@@ -18,7 +18,8 @@ import (
 // per-level goodput estimates from its drift-corrected priors, and moves the
 // level at most one step toward the estimated optimum, damped by hysteresis.
 // After Detach the handle keeps working but delegates to the stream's own
-// solo core.Decider (the paper-faithful Algorithm 1), which the coordinator
+// solo core.Decider (the paper-faithful Algorithm 1 unless Config.SoloPolicy
+// selects a learned policy), which the coordinator
 // kept warm by feeding it every window rate while attached.
 type Stream struct {
 	coord  *Coordinator
@@ -42,7 +43,7 @@ type Stream struct {
 	lastSwitchDir   int // +1 heavier, -1 lighter, 0 none yet
 	switches, flaps int64
 
-	solo *core.Decider
+	solo core.Decider
 }
 
 // Tenant returns the owner label the stream registered with.

@@ -68,7 +68,7 @@ type phase struct {
 // closed-loop rate with mild multiplicative noise (sigma well inside the
 // alpha band, as in the fleet simulator), and returns per-phase occupancy
 // of the optimal level over each phase's second half plus the final level.
-func runConvergence(t *testing.T, d *Decider, phases []phase, seed uint64) (tailOcc []float64, final int) {
+func runConvergence(t *testing.T, d Decider, phases []phase, seed uint64) (tailOcc []float64, final int) {
 	t.Helper()
 	env := convEnv()
 	rng := xrand.New(seed)
@@ -121,6 +121,92 @@ func TestDeciderConvergesAcrossStepChanges(t *testing.T) {
 		if reverts > probes {
 			t.Errorf("seed %d: %d reverts exceed %d probes", seed, reverts, probes)
 		}
+	}
+}
+
+// TestPolicyConvergence extends the convergence property to every selectable
+// policy: the learned policies keep Algorithm 1's skeleton, so they must keep
+// its convergence guarantees — same step-change phases, same 20 seeds, same
+// >= 70% tail-occupancy bar and probe ceiling. A learned policy that gated
+// its way out of re-converging (or probed linearly) fails here before the
+// experiments-layer matrix ever runs.
+func TestPolicyConvergence(t *testing.T) {
+	phases := []phase{
+		{shareMBps: 100, windows: 100}, // optimal 0
+		{shareMBps: 10, windows: 100},  // optimal 2
+		{shareMBps: 100, windows: 100}, // optimal 0 again
+	}
+	env := convEnv()
+	for _, policy := range PolicyNames() {
+		t.Run(policy, func(t *testing.T) {
+			for seed := uint64(1); seed <= 20; seed++ {
+				d := MustNewPolicy(policy, PolicyConfig{Levels: 4, Seed: seed})
+				occ, final := runConvergence(t, d, phases, seed)
+				for i, ph := range phases {
+					if occ[i] < 0.70 {
+						t.Errorf("seed %d phase %d (share %.0f MB/s): optimal-level occupancy %.2f < 0.70",
+							seed, i, ph.shareMBps, occ[i])
+					}
+				}
+				if want := env.optimal(phases[len(phases)-1].shareMBps); final != want {
+					t.Errorf("seed %d: final level %d, want optimal %d", seed, final, want)
+				}
+				ps := d.PolicyStats()
+				if ps.Probes > 60 {
+					t.Errorf("seed %d: %d probes over %d windows — probe pacing broken", seed, ps.Probes, ps.Observed)
+				}
+				if ps.Reverts > ps.Probes {
+					t.Errorf("seed %d: %d reverts exceed %d probes", seed, ps.Reverts, ps.Probes)
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyDeterminism pins the reproducibility contract of the Decider
+// interface: two instances of the same policy with the same seed, fed the
+// same observation trace, must produce byte-for-byte identical decision
+// traces — including the stochastic bandit, whose exploration must come
+// entirely from the seeded RNG.
+func TestPolicyDeterminism(t *testing.T) {
+	phases := []phase{
+		{shareMBps: 100, windows: 80},
+		{shareMBps: 10, windows: 80},
+		{shareMBps: 100, windows: 80},
+	}
+	trace := func(policy string, seed uint64) []Decision {
+		d := MustNewPolicy(policy, PolicyConfig{Levels: 4, Seed: seed})
+		env := convEnv()
+		rng := xrand.New(seed)
+		var out []Decision
+		for _, ph := range phases {
+			for w := 0; w < ph.windows; w++ {
+				r := env.rate(d.Level(), ph.shareMBps) * 1e6 * rng.NoiseFactor(0.02)
+				if ro, ok := d.(RatioObserver); ok {
+					out2 := 0.3 + 0.4*rng.Float64()
+					ro.ObserveRatio(out2)
+				}
+				d.Observe(r)
+				out = append(out, d.LastDecision())
+			}
+		}
+		return out
+	}
+	for _, policy := range PolicyNames() {
+		t.Run(policy, func(t *testing.T) {
+			for seed := uint64(1); seed <= 5; seed++ {
+				a, b := trace(policy, seed), trace(policy, seed)
+				if len(a) != len(b) {
+					t.Fatalf("seed %d: trace lengths differ (%d vs %d)", seed, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("seed %d: decision %d differs: %+v vs %+v — policy is not deterministic",
+							seed, i, a[i], b[i])
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -89,10 +89,15 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// Decider is the decision model state machine. Its fields mirror the
-// variables of Algorithm 1 and Table I in the paper. A Decider is not safe
-// for concurrent use; the stream layer serializes access.
-type Decider struct {
+// AlgorithmOne is the paper-faithful decision model state machine and the
+// default Decider policy. Its fields mirror the variables of Algorithm 1
+// and Table I in the paper. An AlgorithmOne is not safe for concurrent use;
+// the stream layer serializes access.
+//
+// Its decision sequence is pinned byte for byte by the golden-trace test
+// (testdata/algone_decisions.golden): learned policies are alternatives
+// behind the Decider interface, never modifications of this code.
+type AlgorithmOne struct {
 	cfg Config
 
 	ccl int     // current compression level, initially 0
@@ -108,6 +113,7 @@ type Decider struct {
 	reverts  int // degradation-triggered reverts
 	rewards  int // backoff increments
 	observed int // total observations
+	wasted   int // probes undone by a revert on the very next window
 
 	last Decision // outcome of the most recent Observe
 }
@@ -163,15 +169,17 @@ type Decision struct {
 
 // LastDecision returns what the most recent Observe call did. Before the
 // first Observe it is the zero Decision.
-func (d *Decider) LastDecision() Decision { return d.last }
+func (d *AlgorithmOne) LastDecision() Decision { return d.last }
 
-// NewDecider creates a Decider for the given configuration.
-func NewDecider(cfg Config) (*Decider, error) {
+// NewDecider creates the paper-faithful AlgorithmOne policy for the given
+// configuration. (The name predates the Decider interface; use NewPolicy to
+// construct a policy by name.)
+func NewDecider(cfg Config) (*AlgorithmOne, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	return &Decider{
+	return &AlgorithmOne{
 		cfg: cfg,
 		inc: true, // Table I: inc is initially TRUE
 		bck: make([]int, cfg.Levels),
@@ -179,7 +187,7 @@ func NewDecider(cfg Config) (*Decider, error) {
 }
 
 // MustNewDecider is NewDecider for known-good configurations.
-func MustNewDecider(cfg Config) *Decider {
+func MustNewDecider(cfg Config) *AlgorithmOne {
 	d, err := NewDecider(cfg)
 	if err != nil {
 		panic(err)
@@ -187,14 +195,28 @@ func MustNewDecider(cfg Config) *Decider {
 	return d
 }
 
+// Name implements Decider.
+func (d *AlgorithmOne) Name() string { return PolicyAlgorithmOne }
+
+// PolicyStats implements Decider.
+func (d *AlgorithmOne) PolicyStats() PolicyStats {
+	return PolicyStats{
+		Probes:       d.probes,
+		Reverts:      d.reverts,
+		Rewards:      d.rewards,
+		Observed:     d.observed,
+		WastedProbes: d.wasted,
+	}
+}
+
 // Level returns the currently selected compression level ccl.
-func (d *Decider) Level() int { return d.ccl }
+func (d *AlgorithmOne) Level() int { return d.ccl }
 
 // Backoff returns the current backoff exponent of the given level.
-func (d *Decider) Backoff(level int) int { return d.bck[level] }
+func (d *AlgorithmOne) Backoff(level int) int { return d.bck[level] }
 
 // Stats reports probe/revert/reward counters for diagnostics and tests.
-func (d *Decider) Stats() (probes, reverts, rewards, observed int) {
+func (d *AlgorithmOne) Stats() (probes, reverts, rewards, observed int) {
 	return d.probes, d.reverts, d.rewards, d.observed
 }
 
@@ -210,7 +232,7 @@ type Snapshot struct {
 }
 
 // Snapshot returns a copy of the current state.
-func (d *Decider) Snapshot() Snapshot {
+func (d *AlgorithmOne) Snapshot() Snapshot {
 	return Snapshot{
 		CCL:      d.ccl,
 		C:        d.c,
@@ -223,7 +245,7 @@ func (d *Decider) Snapshot() Snapshot {
 
 // String renders the state compactly, e.g. for OnWindow logging:
 // "ccl=1 c=3 inc=true bck=[0 2 0 0] pdr=87.3MB/s".
-func (d *Decider) String() string {
+func (d *AlgorithmOne) String() string {
 	return fmt.Sprintf("ccl=%d c=%d inc=%v bck=%v pdr=%.1fMB/s",
 		d.ccl, d.c, d.inc, d.bck, d.pdr/1e6)
 }
@@ -240,7 +262,7 @@ func (d *Decider) String() string {
 // algorithm"), and the result is clamped to the valid level range with the
 // probe direction flipping at the edges so that probing continues at the
 // ladder's ends.
-func (d *Decider) Observe(cdr float64) int {
+func (d *AlgorithmOne) Observe(cdr float64) int {
 	d.observed++
 	if !d.havePrev {
 		d.pdr = cdr
@@ -279,6 +301,13 @@ func (d *Decider) Observe(cdr float64) int {
 		d.inc = ncl > d.ccl // inc updated from ccl and the returned ncl
 		d.ccl = ncl
 	}
+	// A revert on the window immediately after a probe means the probe
+	// moved to a worse level and the rate collapse sent us back: the
+	// canonical wasted probe. Pure diagnostics — decisions are untouched
+	// (the golden trace pins that).
+	if kind == DecisionRevert && d.last.Kind == DecisionProbe {
+		d.wasted++
+	}
 	d.last = Decision{
 		Kind:     kind,
 		From:     from,
@@ -303,7 +332,7 @@ const (
 // proposed change is an optimistic probe or a degradation revert so that
 // Observe can resolve ladder-edge clamping correctly, plus the DecisionKind
 // for the observability event log.
-func (d *Decider) next(cdr, pdr float64, ccl int) (int, moveKind, DecisionKind) {
+func (d *AlgorithmOne) next(cdr, pdr float64, ccl int) (int, moveKind, DecisionKind) {
 	diff := cdr - pdr // line 1: d ← (cdr − pdr)
 	d.c++             // line 2
 	ncl := ccl        // line 3
@@ -350,7 +379,7 @@ func (d *Decider) next(cdr, pdr float64, ccl int) (int, moveKind, DecisionKind) 
 	return ncl, move, kind // line 29
 }
 
-func (d *Decider) backoffExpired() bool {
+func (d *AlgorithmOne) backoffExpired() bool {
 	if d.cfg.DisableBackoff {
 		return true
 	}
@@ -363,7 +392,7 @@ func (d *Decider) backoffExpired() bool {
 	return d.c >= 1<<uint(exp)
 }
 
-func (d *Decider) rewardLevel(level int) {
+func (d *AlgorithmOne) rewardLevel(level int) {
 	if d.cfg.DisableBackoff {
 		return
 	}

@@ -7,7 +7,7 @@ import (
 	"testing/quick"
 )
 
-func newTestDecider(t *testing.T, cfg Config) *Decider {
+func newTestDecider(t *testing.T, cfg Config) *AlgorithmOne {
 	t.Helper()
 	d, err := NewDecider(cfg)
 	if err != nil {

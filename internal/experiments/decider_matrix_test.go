@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"testing"
+
+	"adaptio/internal/core"
+)
+
+// The decider-matrix acceptance suite: every learned policy must beat the
+// paper baseline on the two-axis bound (within-or-better completion time in
+// every Table II cell AND strictly fewer wasted probes over the grid), and
+// the CheatStick sentinel must fail it. These are the teeth of the policy
+// registry — a policy change that games one axis at the other's expense
+// fails here before any baseline is regenerated.
+
+func ciMatrix(t *testing.T) DeciderMatrixResult {
+	t.Helper()
+	res, err := DeciderMatrix(DeciderMatrixConfig{Seed: 2011})
+	if err != nil {
+		t.Fatalf("DeciderMatrix: %v", err)
+	}
+	return res
+}
+
+func TestDeciderMatrixTwoAxisBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full policy matrix skipped under -short")
+	}
+	res := ciMatrix(t)
+	for _, policy := range []string{core.PolicyBandit, core.PolicyEWMA} {
+		for _, v := range res.CheckBound(policy, core.PolicyAlgorithmOne, DefaultThroughputTolerance) {
+			t.Errorf("%s violates the %s axis: %s", v.Policy, v.Axis, v.Detail)
+		}
+	}
+	// The bound must not be vacuous: the baseline has to actually waste
+	// probes for "strictly lower" to mean anything.
+	if _, wasted := res.Totals(core.PolicyAlgorithmOne); wasted == 0 {
+		t.Fatal("AlgorithmOne wasted no probes across the whole grid — the probe-economy axis is vacuous")
+	}
+}
+
+// TestCheatStickFailsMatrixBound proves the bound is genuinely two-axis: the
+// never-probe sentinel trivially wins the probe-economy axis (zero waste)
+// and must be caught by the throughput axis. If this test ever passes the
+// sentinel, the throughput tolerance has gone soft and the wasted-probe
+// numbers of the learned policies are no longer evidence of anything.
+func TestCheatStickFailsMatrixBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full policy matrix skipped under -short")
+	}
+	res := ciMatrix(t)
+	violations := res.CheckBound(core.PolicyCheatStick, core.PolicyAlgorithmOne, DefaultThroughputTolerance)
+	if len(violations) == 0 {
+		t.Fatal("CheatStick passed the two-axis bound — the throughput axis has no teeth")
+	}
+	for _, v := range violations {
+		if v.Axis != "throughput" {
+			t.Errorf("CheatStick violated the %s axis (%s); the sentinel must win probe economy and lose throughput", v.Axis, v.Detail)
+		}
+	}
+	// And the half-bound it is designed to exploit: zero wasted probes.
+	if _, wasted := res.Totals(core.PolicyCheatStick); wasted != 0 {
+		t.Errorf("CheatStick wasted %d probes; the sentinel must never probe", wasted)
+	}
+}
+
+// TestDeciderMatrixBenchFile pins the artifact contract the benchdiff
+// decider gate consumes: one entry per cell plus a totals entry per policy,
+// all under the given set name.
+func TestDeciderMatrixBenchFile(t *testing.T) {
+	res, err := DeciderMatrix(DeciderMatrixConfig{
+		Policies:    []string{core.PolicyAlgorithmOne},
+		TotalBytes:  200e6,
+		Runs:        1,
+		Backgrounds: []int{0, 1},
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatalf("DeciderMatrix: %v", err)
+	}
+	f := res.ToBenchFile("test artifact", "current")
+	wantBenches := len(res.Kinds)*2 + 1 // cells + totals
+	if got := len(f.Benchmarks); got != wantBenches {
+		t.Fatalf("artifact has %d benchmarks, want %d: %v", got, wantBenches, f.Names())
+	}
+	totals, ok := f.Benchmarks["Decider/algone/totals"]["current"]
+	if !ok {
+		t.Fatal("artifact is missing the Decider/algone/totals entry")
+	}
+	p, w := res.Totals(core.PolicyAlgorithmOne)
+	if totals.Probes != int64(p) || totals.WastedProbes != int64(w) {
+		t.Fatalf("totals entry carries probes=%d wasted=%d, matrix says %d/%d",
+			totals.Probes, totals.WastedProbes, p, w)
+	}
+	for name, sets := range f.Benchmarks {
+		if name == "Decider/algone/totals" {
+			continue
+		}
+		if m := sets["current"]; m.MBPerS <= 0 {
+			t.Errorf("cell %s has no throughput measurement: %+v", name, m)
+		}
+	}
+}

@@ -86,17 +86,23 @@ type TenantTotal struct {
 // switch/flap metrics, the per-window byte series (the deterministic
 // regression surface golden files pin) and per-tenant aggregates.
 type VariantResult struct {
-	Name              string        `json:"name"`
-	AppBytes          int64         `json:"app_bytes"`
-	WireBytes         int64         `json:"wire_bytes"`
-	GoodputMBps       float64       `json:"goodput_mbps"`
-	Switches          int           `json:"switches"`
-	Flaps             int           `json:"flaps"`
-	MaxStreamSwitches int           `json:"max_stream_switches"`
-	MaxStreamFlaps    int           `json:"max_stream_flaps"`
-	WindowAppBytes    []int64       `json:"window_app_bytes"`
-	WindowWireBytes   []int64       `json:"window_wire_bytes"`
-	Tenants           []TenantTotal `json:"tenants"`
+	Name              string  `json:"name"`
+	AppBytes          int64   `json:"app_bytes"`
+	WireBytes         int64   `json:"wire_bytes"`
+	GoodputMBps       float64 `json:"goodput_mbps"`
+	Switches          int     `json:"switches"`
+	Flaps             int     `json:"flaps"`
+	MaxStreamSwitches int     `json:"max_stream_switches"`
+	MaxStreamFlaps    int     `json:"max_stream_flaps"`
+	// Probes and WastedProbes sum the solo deciders' probe economics over
+	// the variant's streams (zero for static, coordinated and rigged
+	// variants, whose schemes are not core.Deciders). WastedProbes is the
+	// probe-economy axis of the decider acceptance bound.
+	Probes          int           `json:"probes,omitempty"`
+	WastedProbes    int           `json:"wasted_probes,omitempty"`
+	WindowAppBytes  []int64       `json:"window_app_bytes"`
+	WindowWireBytes []int64       `json:"window_wire_bytes"`
+	Tenants         []TenantTotal `json:"tenants"`
 }
 
 // ClaimResult is one evaluated claim.
@@ -114,6 +120,7 @@ type ClaimResult struct {
 type Result struct {
 	Scenario         string          `json:"scenario"`
 	Seed             uint64          `json:"seed"`
+	Decider          string          `json:"decider,omitempty"`
 	Rig              string          `json:"rig,omitempty"`
 	Streams          int             `json:"streams"`
 	Windows          int             `json:"windows"`
@@ -167,6 +174,7 @@ type streamSpec struct {
 	weight float64
 	tenant string
 	cpu    float64
+	seed   uint64 // per-stream seed (also feeds stochastic deciders)
 	kind   cloudsim.KindSchedule
 	demand func(tSec float64) float64
 }
@@ -322,6 +330,7 @@ func compile(sc *Scenario, rig Rig) (*engine, error) {
 				weight: weight,
 				tenant: tenant,
 				cpu:    cpu,
+				seed:   sseed,
 				kind:   mixKindSchedule(mix, chunkBytes, sseed),
 				demand: demand,
 			})
@@ -375,8 +384,11 @@ func (e *engine) schemeFactory(variant string) (func(spec streamSpec) cloudsim.S
 		case RigOscillate:
 			return func(streamSpec) cloudsim.Scheme { return &oscillator{} }, nil
 		}
-		return func(streamSpec) cloudsim.Scheme {
-			return core.MustNewDecider(core.Config{Levels: levels})
+		return func(spec streamSpec) cloudsim.Scheme {
+			return core.MustNewPolicy(e.sc.Decider, core.PolicyConfig{
+				Levels: levels,
+				Seed:   spec.seed,
+			})
 		}, nil
 	case "coordinated":
 		if e.rig == RigOscillate {
@@ -454,6 +466,13 @@ func (e *engine) runVariant(variant string) (VariantResult, error) {
 	}
 	vr.AppBytes, vr.WireBytes = res.AppBytes, res.WireBytes
 	vr.Switches, vr.Flaps = res.Switches, res.Flaps
+	for i := range streams {
+		if d, ok := streams[i].Scheme.(core.Decider); ok {
+			ps := d.PolicyStats()
+			vr.Probes += ps.Probes
+			vr.WastedProbes += ps.WastedProbes
+		}
+	}
 	vr.GoodputMBps = res.GoodputMBps(e.sc.WindowSeconds)
 	byTenant := make(map[string]*TenantTotal)
 	for _, ps := range res.PerStream {
@@ -490,6 +509,7 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 	res := &Result{
 		Scenario:         e.sc.Name,
 		Seed:             e.sc.Seed,
+		Decider:          e.sc.Decider,
 		Rig:              string(opts.Rig),
 		Streams:          len(e.specs),
 		Windows:          e.sc.Windows,

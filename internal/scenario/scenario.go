@@ -31,6 +31,7 @@ import (
 	"math"
 	"time"
 
+	"adaptio/internal/core"
 	"adaptio/internal/corpus"
 )
 
@@ -120,6 +121,12 @@ type Scenario struct {
 	// counts become the fleet-wide demand curve, split evenly across
 	// streams.
 	Trace string `json:"trace,omitempty"`
+
+	// Decider names the level-selection policy driving every adaptive
+	// stream (core.PolicyNames: "algone", "bandit", "ewma"); empty means
+	// the paper's Algorithm 1. Stochastic policies are seeded per stream
+	// from Seed, so the artifact stays byte-deterministic.
+	Decider string `json:"decider,omitempty"`
 
 	// Seed drives all stochastic components; zero means DefaultSeed.
 	Seed uint64 `json:"seed,omitempty"`
@@ -263,6 +270,9 @@ func (s *Scenario) Validate() error {
 	}
 	if badFloat(s.MixChunkMB) || s.MixChunkMB < 0 || s.MixChunkMB > 1e6 {
 		return fieldErrf("mix_chunk_mb", "must be in [0, 1e6], got %v", s.MixChunkMB)
+	}
+	if s.Decider != "" && !core.ValidPolicy(s.Decider) {
+		return fieldErrf("decider", "unknown policy %q (want one of %v)", s.Decider, core.PolicyNames())
 	}
 	if len(s.Fleet) == 0 {
 		return fieldErrf("fleet", "at least one group required")

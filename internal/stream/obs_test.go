@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"adaptio/internal/core"
 	"adaptio/internal/obs"
 	"adaptio/internal/vclock"
 )
@@ -87,7 +88,7 @@ func TestDecisionLogShowsBackoffAfterRevert(t *testing.T) {
 		t.Fatalf("revert event does not show reverted level and reset backoff: %q", events[3].Detail)
 	}
 	// The live controller state agrees with the event trail.
-	if got := w.dec.Backoff(2); got != 0 {
+	if got := w.dec.(*core.AlgorithmOne).Backoff(2); got != 0 {
 		t.Fatalf("decider bck[2] = %d after revert, want 0", got)
 	}
 	if got := w.dec.Level(); got != 1 {

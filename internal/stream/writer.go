@@ -117,6 +117,18 @@ type WriterConfig struct {
 	// scheme returns to the ladder, so a misbehaving policy can degrade
 	// compression choices but never crash the stream.
 	Scheme Scheme
+	// Decider, if non-nil, is the solo level-selection policy instance
+	// the writer drives instead of constructing the default paper
+	// decider (core.AlgorithmOne) — the seam the pluggable policies
+	// (core.NewPolicy: "algone", "bandit", "ewma") plug into. The
+	// instance must be dedicated to this writer (policies are not safe
+	// for concurrent use) and must have been built for the ladder's
+	// level count. Mutually exclusive with Static and Scheme; the
+	// ablation knobs below are ignored when it is set (they parameterize
+	// the default construction only). If the policy implements
+	// core.RatioObserver, the writer feeds it each window's achieved
+	// wire/app ratio before the rate observation.
+	Decider core.Decider
 	// Clock supplies time; nil means the wall clock.
 	Clock vclock.Clock
 	// OnWindow, if non-nil, is invoked after every completed decision
@@ -147,7 +159,7 @@ type Writer struct {
 	cfg    WriterConfig
 	ladder compress.Ladder
 	clock  vclock.Clock
-	dec    *core.Decider // nil in static mode
+	dec    core.Decider // nil in static/scheme mode
 
 	// bufArena backs buf; scratchArena backs scratch (serial mode only —
 	// pipeline workers pool their own frame buffers). Both come from the
@@ -220,15 +232,28 @@ func NewWriter(dst io.Writer, cfg WriterConfig) (*Writer, error) {
 		if cfg.Scheme != nil {
 			return nil, errors.New("stream: Static and Scheme are mutually exclusive")
 		}
+		if cfg.Decider != nil {
+			return nil, errors.New("stream: Static and Decider are mutually exclusive")
+		}
 		if cfg.StaticLevel < 0 || cfg.StaticLevel >= len(cfg.Ladder) {
 			return nil, fmt.Errorf("stream: static level %d outside ladder of %d levels", cfg.StaticLevel, len(cfg.Ladder))
 		}
 		w.level = cfg.StaticLevel
 	case cfg.Scheme != nil:
+		if cfg.Decider != nil {
+			return nil, errors.New("stream: Scheme and Decider are mutually exclusive")
+		}
 		lvl := cfg.Scheme.Level()
 		if lvl < 0 || lvl >= len(cfg.Ladder) {
 			return nil, fmt.Errorf("stream: scheme starts at level %d outside ladder of %d levels", lvl, len(cfg.Ladder))
 		}
+		w.level = lvl
+	case cfg.Decider != nil:
+		lvl := cfg.Decider.Level()
+		if lvl < 0 || lvl >= len(cfg.Ladder) {
+			return nil, fmt.Errorf("stream: decider starts at level %d outside ladder of %d levels", lvl, len(cfg.Ladder))
+		}
+		w.dec = cfg.Decider
 		w.level = lvl
 	default:
 		dec, err := core.NewDecider(core.Config{
@@ -549,6 +574,12 @@ func (w *Writer) finishWindow(final bool) {
 				next = len(w.ladder) - 1
 			}
 		case w.dec != nil:
+			if ro, ok := w.dec.(core.RatioObserver); ok && w.winAppBytes > 0 {
+				w.statsMu.Lock()
+				winWire := w.winWireBytes
+				w.statsMu.Unlock()
+				ro.ObserveRatio(float64(winWire) / float64(w.winAppBytes))
+			}
 			next = w.dec.Observe(rate)
 			w.obs.onDecision(w.dec.LastDecision())
 		}

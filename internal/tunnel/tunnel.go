@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"adaptio/internal/coord"
+	"adaptio/internal/core"
 	"adaptio/internal/obs"
 	"adaptio/internal/stream"
 	"adaptio/internal/xrand"
@@ -71,6 +72,15 @@ type Config struct {
 	// Static pins a level instead of adapting (for comparison runs).
 	Static      bool
 	StaticLevel int
+	// Decider names the solo level-selection policy each connection's
+	// compress path drives (core.PolicyNames: "algone", "bandit",
+	// "ewma"); empty means the paper's Algorithm 1. Ignored in Static
+	// mode and while a Coord steers the stream. See docs/deciders.md.
+	Decider string
+	// DeciderSeed seeds stochastic policies; every connection derives a
+	// distinct per-stream seed from it, so two endpoints with the same
+	// seed make reproducible decision sequences per connection index.
+	DeciderSeed uint64
 	// OnDone, if non-nil, receives the sender-side compression stats of
 	// every finished connection direction. ConnStats.Err, when non-nil,
 	// wraps a typed sentinel: ErrIdleTimeout, stream.ErrBadFrame (via
@@ -376,6 +386,9 @@ func ListenExit(ctx context.Context, listenAddr, targetAddr string, cfg Config) 
 }
 
 func listen(ctx context.Context, listenAddr string, cfg Config, dialAddr string, acceptsPlain bool) (*Endpoint, error) {
+	if cfg.Decider != "" && !core.ValidPolicy(cfg.Decider) {
+		return nil, fmt.Errorf("tunnel: unknown decider policy %q (want one of %v)", cfg.Decider, core.PolicyNames())
+	}
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, err
