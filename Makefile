@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short test-shape test-obs test-coord test-scenario test-decider bench bench-alloc bench-compare bench-throughput bench-throughput-compare bench-relay-gate bench-decider-gate alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
+.PHONY: all build test test-race test-short test-shape test-obs test-coord test-scenario test-decider test-kernels bench bench-alloc bench-compare bench-throughput bench-throughput-compare bench-relay-gate bench-decider-gate alloc-gate repro claims soak fuzz fuzz-smoke fuzz-nightly chaos cover clean
 
 all: build test
 
@@ -62,6 +62,18 @@ test-decider:
 	$(GO) test -run 'TestDeciderMatrix|TestCheatStickFailsMatrixBound' -count=1 -v ./internal/experiments/
 	$(GO) test -run 'TestBuiltinsDeciderBound|TestCheatStickFailsScenarioBound|TestScenarioDeciderField' -short -count=1 ./internal/scenario/
 	$(GO) run ./cmd/expdriver -scenario lossy -decider bandit -max-wall 2m
+
+# Kernel-tier gates (docs/performance.md, "Kernel tier"): the unsafe-vs-spec
+# compress differential suites and golden digests, the serial-vs-parallel
+# wire-determinism property, and the probe skip/ledger suite — first under
+# the race detector on the default (unsafe) build, then again with the
+# portable kernels forced via -tags purego. Both builds must produce
+# byte-identical compressed output.
+test-kernels:
+	$(GO) test -race -run 'Differential|TestGoldenDigests' -count=1 ./internal/compress/lzfast/
+	$(GO) test -race -run 'TestWireDeterminism|TestProbe' -count=1 ./internal/stream/
+	$(GO) test -tags purego -run 'Differential|TestGoldenDigests' -count=1 ./internal/compress/lzfast/
+	$(GO) test -tags purego -run 'TestWireDeterminism|TestProbe' -count=1 ./internal/stream/
 
 # One iteration of every paper table/figure benchmark with rendered output.
 bench:
@@ -130,14 +142,17 @@ soak:
 fuzz:
 	$(GO) test -fuzz=FuzzFastRoundTrip -fuzztime=30s ./internal/compress/lzfast/
 	$(GO) test -fuzz=FuzzDecompressFast -fuzztime=30s ./internal/compress/lzfast/
+	$(GO) test -fuzz=FuzzCompressFastUnsafe -fuzztime=30s ./internal/compress/lzfast/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/compress/lzheavy/
 	$(GO) test -fuzz=FuzzWriterChunking -fuzztime=30s ./internal/stream/
 	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=30s ./internal/stream/
 	$(GO) test -fuzz=FuzzTunnelFrame -fuzztime=30s ./internal/tunnel/
 	$(GO) test -fuzz=FuzzScenarioParse -fuzztime=30s ./internal/scenario/
 
-# Short fuzz sessions of the corrupt-input targets; what CI runs.
+# Short fuzz sessions of the corrupt-input and kernel-differential targets;
+# what CI runs.
 fuzz-smoke:
+	$(GO) test -fuzz=FuzzCompressFastUnsafe -fuzztime=10s ./internal/compress/lzfast/
 	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=10s ./internal/stream/
 	$(GO) test -fuzz=FuzzTunnelFrame -fuzztime=10s ./internal/tunnel/
 	$(GO) test -fuzz=FuzzScenarioParse -fuzztime=10s ./internal/scenario/
@@ -146,6 +161,7 @@ fuzz-smoke:
 fuzz-nightly:
 	$(GO) test -fuzz=FuzzFastRoundTrip -fuzztime=5m ./internal/compress/lzfast/
 	$(GO) test -fuzz=FuzzDecompressFast -fuzztime=5m ./internal/compress/lzfast/
+	$(GO) test -fuzz=FuzzCompressFastUnsafe -fuzztime=5m ./internal/compress/lzfast/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=5m ./internal/compress/lzheavy/
 	$(GO) test -fuzz=FuzzWriterChunking -fuzztime=5m ./internal/stream/
 	$(GO) test -fuzz=FuzzReaderCorruptStream -fuzztime=5m ./internal/stream/

@@ -186,6 +186,38 @@ func BenchmarkThroughputStreamWriterParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkThroughputParallelWriter measures the public ParallelWriter —
+// per-block parallel compression within a single stream — at 4 workers
+// across the writer levels. Its wire output is byte-identical to the serial
+// Writer at every level (pinned by TestWireDeterminismSerialVsParallel);
+// only the scheduling differs, so this row isolates the pipeline's
+// fan-out/recombine overhead from the codec cost.
+func BenchmarkThroughputParallelWriter(b *testing.B) {
+	for _, lv := range throughputLevels {
+		b.Run(lv.name, func(b *testing.B) {
+			app := benchCorpus("moderate", streamVolume)
+			w, err := stream.NewParallelWriter(io.Discard, stream.WriterConfig{
+				Static: true, StaticLevel: lv.level,
+			}, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.SetBytes(int64(len(app)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Write(app); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkThroughputStreamReader measures the serial Reader end to end:
 // wire frames in, application bytes to io.Discard (via the Reader's
 // WriteTo, the relay path).

@@ -25,6 +25,7 @@ import (
 
 	"adaptio"
 	"adaptio/internal/block"
+	"adaptio/internal/compress/probe"
 	"adaptio/internal/coord"
 	"adaptio/internal/core"
 	"adaptio/internal/obs"
@@ -42,6 +43,7 @@ func main() {
 		decider     = flag.String("decider", "", "level-selection policy for adaptive mode: algone (default), bandit, or ewma")
 		deciderSeed = flag.Uint64("decider-seed", 0, "seed for stochastic -decider policies")
 		quiet       = flag.Bool("q", false, "suppress per-connection statistics")
+		noProbe     = flag.Bool("no-probe", false, "disable the entropy pre-probe and run every block through the codec, even ones judged incompressible")
 
 		passthrough = flag.Bool("passthrough", false, "relay raw bytes with no framing or compression (both endpoints must agree; -static/-window/-alpha/-coord do not apply)")
 		flushIvl    = flag.Duration("flush-interval", 0, "max time a partial block may wait for more bytes before being framed (0 = default 5ms, negative = only flush full blocks)")
@@ -100,6 +102,10 @@ func main() {
 	if *static != adaptio.Adaptive {
 		cfg.Static = true
 		cfg.StaticLevel = *static
+	}
+	if *noProbe {
+		pr := probe.Disabled()
+		cfg.Probe = &pr
 	}
 	if *coordOn {
 		if cfg.Static {

@@ -53,6 +53,10 @@
 // at the alloc-style 15% default tolerance: the matrix is simulated and
 // seed-deterministic, so drift there is a behaviour change, not host noise.
 //
+// A baseline entry may carry a "regress" field overriding the global
+// tolerance for that one benchmark (tighter for stable workloads, looser
+// for known-noisy ones); see docs/performance.md for the calibrated rows.
+//
 // When the same benchmark appears several times (multiple -count runs), the
 // best reading is kept — minimum for B/op, allocs/op and ns/op, maximum for
 // MB/s: the gate measures the floor the code can reach, not scheduler
@@ -88,6 +92,13 @@ type measurement struct {
 	// output never carries them).
 	Probes       int64 `json:"probes,omitempty"`
 	WastedProbes int64 `json:"wasted_probes,omitempty"`
+
+	// Regress, when set on a baseline entry (> 0), overrides the global
+	// -regress tolerance for that one benchmark — the seam for pinning a
+	// benchmark tighter than the mode default (e.g. a throughput row whose
+	// workload is stable enough for a 25% bound under the 40% default),
+	// or looser for a known-noisy one. Parsed inputs never carry it.
+	Regress float64 `json:"regress,omitempty"`
 
 	// which column families the parsed input line actually carried
 	// (baseline entries don't need these: absent fields decode to zero).
@@ -370,35 +381,41 @@ func compare(base, results map[string]measurement, opts options) ([]row, bool) {
 			continue
 		}
 		r := row{name: name, base: b, got: got, verdict: verdictOK}
+		// A baseline entry may pin its own tolerance (measurement.Regress);
+		// otherwise the mode-wide -regress applies.
+		regress := opts.regress
+		if b.Regress > 0 {
+			regress = b.Regress
+		}
 		switch opts.mode {
 		case modeDecider:
 			// Both axes of the decider bound gate independently, mirroring
 			// the acceptance tests: probe economy must not regress past the
 			// tolerance, and the cells that carry throughput must hold it.
-			if exceeds(got.WastedProbes, b.WastedProbes, opts.regress, opts.slackProbes) {
+			if exceeds(got.WastedProbes, b.WastedProbes, regress, opts.slackProbes) {
 				r.reasons = append(r.reasons, fmt.Sprintf("wasted probes %d > %d+%.0f%%+%d",
-					got.WastedProbes, b.WastedProbes, opts.regress*100, opts.slackProbes))
+					got.WastedProbes, b.WastedProbes, regress*100, opts.slackProbes))
 			}
-			if b.MBPerS > 0 && belowFloor(got.MBPerS, b.MBPerS, opts.regress) {
-				r.reasons = append(r.reasons, fmt.Sprintf("MB/s %.1f < %.1f-%.0f%%", got.MBPerS, b.MBPerS, opts.regress*100))
+			if b.MBPerS > 0 && belowFloor(got.MBPerS, b.MBPerS, regress) {
+				r.reasons = append(r.reasons, fmt.Sprintf("MB/s %.1f < %.1f-%.0f%%", got.MBPerS, b.MBPerS, regress*100))
 			}
 		case modeThroughput:
 			// Every speed metric the baseline carries is gated on its own:
 			// the historical else-if here meant a benchmark with both
 			// columns never had its ns/op checked, and a run regressing
 			// several benchmarks surfaced only part of the damage.
-			if b.MBPerS > 0 && belowFloor(got.MBPerS, b.MBPerS, opts.regress) {
-				r.reasons = append(r.reasons, fmt.Sprintf("MB/s %.1f < %.1f-%.0f%%", got.MBPerS, b.MBPerS, opts.regress*100))
+			if b.MBPerS > 0 && belowFloor(got.MBPerS, b.MBPerS, regress) {
+				r.reasons = append(r.reasons, fmt.Sprintf("MB/s %.1f < %.1f-%.0f%%", got.MBPerS, b.MBPerS, regress*100))
 			}
-			if b.NsPerOp > 0 && got.NsPerOp > b.NsPerOp*(1+opts.regress) {
-				r.reasons = append(r.reasons, fmt.Sprintf("ns/op %.0f > %.0f+%.0f%%", got.NsPerOp, b.NsPerOp, opts.regress*100))
+			if b.NsPerOp > 0 && got.NsPerOp > b.NsPerOp*(1+regress) {
+				r.reasons = append(r.reasons, fmt.Sprintf("ns/op %.0f > %.0f+%.0f%%", got.NsPerOp, b.NsPerOp, regress*100))
 			}
 		default: // alloc
-			if exceeds(got.BytesPerOp, b.BytesPerOp, opts.regress, opts.slackBytes) {
-				r.reasons = append(r.reasons, fmt.Sprintf("B/op %d > %d+%.0f%%+%d", got.BytesPerOp, b.BytesPerOp, opts.regress*100, opts.slackBytes))
+			if exceeds(got.BytesPerOp, b.BytesPerOp, regress, opts.slackBytes) {
+				r.reasons = append(r.reasons, fmt.Sprintf("B/op %d > %d+%.0f%%+%d", got.BytesPerOp, b.BytesPerOp, regress*100, opts.slackBytes))
 			}
-			if exceeds(got.AllocsPerOp, b.AllocsPerOp, opts.regress, opts.slackAllocs) {
-				r.reasons = append(r.reasons, fmt.Sprintf("allocs/op %d > %d+%.0f%%+%d", got.AllocsPerOp, b.AllocsPerOp, opts.regress*100, opts.slackAllocs))
+			if exceeds(got.AllocsPerOp, b.AllocsPerOp, regress, opts.slackAllocs) {
+				r.reasons = append(r.reasons, fmt.Sprintf("allocs/op %d > %d+%.0f%%+%d", got.AllocsPerOp, b.AllocsPerOp, regress*100, opts.slackAllocs))
 			}
 		}
 		if len(r.reasons) > 0 {

@@ -117,6 +117,67 @@ func TestCompareThroughputMode(t *testing.T) {
 	})
 }
 
+// TestComparePerBenchmarkRegressOverride pins the baseline-entry "regress"
+// field: it replaces the global tolerance for that one benchmark only.
+func TestComparePerBenchmarkRegressOverride(t *testing.T) {
+	base := map[string]measurement{
+		"BenchmarkTight": {MBPerS: 100, NsPerOp: 1000, Regress: 0.25},
+		"BenchmarkLoose": {MBPerS: 100, NsPerOp: 1000},
+	}
+	opts := options{mode: modeThroughput, regress: 0.40}
+
+	t.Run("override tightens one row", func(t *testing.T) {
+		// 70 MB/s is a 30% drop: inside the global 0.40 tolerance, outside
+		// the overridden 0.25 — so only the tight row may fail.
+		results := map[string]measurement{
+			"BenchmarkTight": {MBPerS: 70, NsPerOp: 1000, hasSpeed: true},
+			"BenchmarkLoose": {MBPerS: 70, NsPerOp: 1000, hasSpeed: true},
+		}
+		rows, failed := compare(base, results, opts)
+		if !failed {
+			t.Fatalf("30%% drop must fail the 0.25 override, rows: %+v", rows)
+		}
+		for _, r := range rows {
+			switch r.name {
+			case "BenchmarkTight":
+				if r.verdict != verdictFail {
+					t.Fatalf("tight row = %+v, want FAIL", r)
+				}
+			case "BenchmarkLoose":
+				if r.verdict == verdictFail {
+					t.Fatalf("loose row = %+v, want pass under global 0.40", r)
+				}
+			}
+		}
+	})
+
+	t.Run("within the override passes", func(t *testing.T) {
+		results := map[string]measurement{
+			"BenchmarkTight": {MBPerS: 80, NsPerOp: 1100, hasSpeed: true},
+			"BenchmarkLoose": {MBPerS: 61, NsPerOp: 1000, hasSpeed: true},
+		}
+		if rows, failed := compare(base, results, opts); failed {
+			t.Fatalf("20%% drop is inside the 0.25 override, rows: %+v", rows)
+		}
+	})
+
+	t.Run("override gates ns/op too", func(t *testing.T) {
+		results := map[string]measurement{
+			"BenchmarkTight": {MBPerS: 100, NsPerOp: 1300, hasSpeed: true},
+			"BenchmarkLoose": {MBPerS: 100, NsPerOp: 1300, hasSpeed: true},
+		}
+		rows, failed := compare(base, results, opts)
+		if !failed {
+			t.Fatalf("30%% ns/op growth must fail the 0.25 override, rows: %+v", rows)
+		}
+		for _, r := range rows {
+			if r.name == "BenchmarkLoose" && r.verdict == verdictFail {
+				t.Fatalf("loose row = %+v, want pass under global 0.40", r)
+			}
+		}
+	})
+}
+
 // TestCompareThroughputReportsAllRegressions is the multi-regression
 // contract: when several benchmarks regress in one run, every one of them
 // must carry a FAIL verdict with a reason, and failingNames must enumerate

@@ -40,22 +40,14 @@ package lzfast
 // fall back to exact copies, so no byte outside dst[start:start+size] is
 // ever touched.
 
-import "encoding/binary"
-
 const (
-	// wildCopyMargin is the chunk size of copy16; a match wild copy
+	// wildCopyMargin is the chunk size of kcopy16; a match wild copy
 	// requires offset >= wildCopyMargin so chunk sources are decoded.
 	wildCopyMargin = 16
 	// wildCopyShort is the run-length cutoff for the wild-copy pair; it
 	// is also exactly how many bytes a wild pair writes.
 	wildCopyShort = 32
 )
-
-// copy16 copies exactly 16 bytes as two 8-byte loads/stores.
-func copy16(dst, src []byte) {
-	binary.LittleEndian.PutUint64(dst[0:8], binary.LittleEndian.Uint64(src[0:8]))
-	binary.LittleEndian.PutUint64(dst[8:16], binary.LittleEndian.Uint64(src[8:16]))
-}
 
 // expandCopy replicates the offset-periodic pattern ending at buf[d] over
 // buf[d:d+mlen] for an overlapping match (offset < mlen): it copies the
@@ -90,12 +82,30 @@ func decompressBlock(dst, src []byte, decompressedSize int) ([]byte, error) {
 		s++
 		litLen := int(token >> 4)
 		if litLen == 15 {
-			ext, n, err := readExtLength(src, s)
-			if err != nil {
-				return dst[:start+d], err
+			// Single-byte extension is the overwhelmingly common case
+			// (runs of 15..269 literals); keep it inline and leave the
+			// 255-chain to readExtLength.
+			if s < len(src) && src[s] < 255 {
+				litLen += int(src[s])
+				s++
+			} else {
+				ext, n, err := readExtLength(src, s)
+				if err != nil {
+					return dst[:start+d], err
+				}
+				litLen += ext
+				s += n
 			}
-			litLen += ext
-			s += n
+		} else if s+wildCopyMargin+2 <= len(src) && d+wildCopyShort <= decompressedSize {
+			// Shortcut: a short literal run (<= 14 bytes, no extension)
+			// with a full wild-copy margin on both sides. One 16-byte
+			// copy covers the run, and the margins prove every generic
+			// check below (input overrun, output overrun, final
+			// sequence) false, so jump straight to the match.
+			kcopy16(out[d:], src[s:])
+			s += litLen
+			d += litLen
+			goto match
 		}
 		if s+litLen > len(src) {
 			return dst[:start+d], corrupt("literal run of %d overruns input", litLen)
@@ -105,8 +115,10 @@ func decompressBlock(dst, src []byte, decompressedSize int) ([]byte, error) {
 		}
 		if litLen > 0 {
 			if litLen <= wildCopyShort && s+wildCopyShort <= len(src) && d+wildCopyShort <= decompressedSize {
-				copy16(out[d:], src[s:])
-				copy16(out[d+16:], src[s+16:])
+				kcopy16(out[d:], src[s:])
+				if litLen > wildCopyMargin {
+					kcopy16(out[d+16:], src[s+16:])
+				}
 			} else {
 				copy(out[d:d+litLen], src[s:s+litLen])
 			}
@@ -119,6 +131,7 @@ func decompressBlock(dst, src []byte, decompressedSize int) ([]byte, error) {
 		if s+2 > len(src) {
 			return dst[:start+d], corrupt("truncated match offset")
 		}
+	match:
 		offset := int(src[s]) | int(src[s+1])<<8
 		s += 2
 		if offset == 0 {
@@ -126,12 +139,17 @@ func decompressBlock(dst, src []byte, decompressedSize int) ([]byte, error) {
 		}
 		mlen := int(token & 0x0f)
 		if mlen == 15 {
-			ext, n, err := readExtLength(src, s)
-			if err != nil {
-				return dst[:start+d], err
+			if s < len(src) && src[s] < 255 {
+				mlen += int(src[s])
+				s++
+			} else {
+				ext, n, err := readExtLength(src, s)
+				if err != nil {
+					return dst[:start+d], err
+				}
+				mlen += ext
+				s += n
 			}
-			mlen += ext
-			s += n
 		}
 		mlen += minMatch
 		if offset > d {
@@ -143,13 +161,20 @@ func decompressBlock(dst, src []byte, decompressedSize int) ([]byte, error) {
 		if offset >= mlen {
 			// Non-overlapping match.
 			if mlen <= wildCopyShort && offset >= wildCopyMargin && d+wildCopyShort <= decompressedSize {
-				copy16(out[d:], out[d-offset:])
-				copy16(out[d+16:], out[d-offset+16:])
+				kcopy16(out[d:], out[d-offset:])
+				if mlen > wildCopyMargin {
+					kcopy16(out[d+16:], out[d-offset+16:])
+				}
 			} else {
 				copy(out[d:d+mlen], out[d-offset:d-offset+mlen])
 			}
+		} else if mlen <= 2*wildCopyMargin {
+			// Short overlapping match (the dominant shape on barely
+			// compressible data: offsets 1..7, lengths 4..8). A plain
+			// byte loop beats expandCopy's memmove calls at these sizes.
+			koverlapCopy(out, d, offset, mlen)
 		} else {
-			// Overlapping match (offset==1 is the RLE case).
+			// Long overlapping match (offset==1 is the RLE case).
 			expandCopy(out, d, offset, mlen)
 		}
 		d += mlen

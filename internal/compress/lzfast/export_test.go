@@ -1,8 +1,19 @@
 package lzfast
 
 // Test-only exports: the differential tests pin the production fast-path
-// decoder to the retained reference implementation.
+// encoder and decoder to the retained reference implementations, and the
+// kernel primitives to the bounds-checked reference primitives.
 var (
 	DecompressFast = decompressBlock
 	DecompressRef  = decompressBlockRef
+
+	CompressFast    = compressFast
+	CompressFastRef = compressFastRef
+
+	MatchLenKernel = kmatchLen
+	MatchLenRef    = matchLen
 )
+
+// KernelName reports which kernel tier this build compiled in ("unsafe" or
+// "portable") so test logs show what was exercised.
+const KernelName = kernelName

@@ -76,6 +76,39 @@ func FuzzDecompressFast(f *testing.F) {
 	})
 }
 
+// FuzzCompressFastUnsafe differentially fuzzes the production fast-mode
+// encoder against the reference encoder: on every input the two must
+// produce byte-identical compressed output, and the reference decoder must
+// round-trip it. Under the default build this pins the unsafe kernel tier
+// to the portable reference primitives; under -tags purego (the nightly
+// fuzz matrix runs both) it pins the frontier-based emit machinery alone.
+// The committed seeds (testdata/fuzz/FuzzCompressFastUnsafe) straddle the
+// encoder's boundaries: the 8-byte hash-load scan limit, the 16-byte
+// wild-copy margin, the tiny-overlap decline window, and the 16-bit offset
+// horizon.
+func FuzzCompressFastUnsafe(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("12345678"))  // exactly one scan position
+	f.Add([]byte("123456789")) // one byte past it
+	f.Add(bytes.Repeat([]byte("ab"), 40))
+	f.Add(corpus.Generate(corpus.Moderate, 4096, 2))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		ref := lzfast.CompressFastRef(nil, src)
+		fast := lzfast.CompressFast(nil, src)
+		if !bytes.Equal(ref, fast) {
+			t.Fatalf("encoder outputs diverge (%s tier): ref %d bytes, fast %d bytes",
+				lzfast.KernelName, len(ref), len(fast))
+		}
+		out, err := lzfast.DecompressRef(nil, fast, len(src))
+		if err != nil {
+			t.Fatalf("reference decoder rejects encoder output: %v", err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
 func FuzzFastDecompressArbitrary(f *testing.F) {
 	f.Add([]byte{0x00}, 10)
 	f.Add([]byte{0xF0, 1, 2, 3}, 4)

@@ -1,0 +1,43 @@
+//go:build purego || (!amd64 && !arm64)
+
+package lzfast
+
+// Portable kernel tier: the k-primitives delegate to the bounds-checked
+// binary.LittleEndian reference primitives in lzfast.go. This build is
+// selected by the purego tag (CI forces it so the fallback cannot rot) or
+// by any GOARCH without a verified unaligned-little-endian contract. The
+// compressed output is byte-identical to the unsafe tier's — pinned by the
+// golden digest tests and FuzzCompressFastUnsafe.
+
+import "encoding/binary"
+
+// kernelName tells test logs which tier a build exercised.
+const kernelName = "portable"
+
+func kload32(b []byte, i int) uint32 { return load32(b, i) }
+
+func kload64(b []byte, i int) uint64 { return binary.LittleEndian.Uint64(b[i:]) }
+
+func kmatchLen(src []byte, a, b int) int { return matchLen(src, a, b) }
+
+// kcopy16 copies exactly 16 bytes as two 8-byte loads/stores.
+func kcopy16(dst, src []byte) {
+	binary.LittleEndian.PutUint64(dst[0:8], binary.LittleEndian.Uint64(src[0:8]))
+	binary.LittleEndian.PutUint64(dst[8:16], binary.LittleEndian.Uint64(src[8:16]))
+}
+
+// kwildCopy copies n bytes in 16-byte strides, writing up to
+// wildCopyMargin-1 bytes past n; same contract as the unsafe tier.
+func kwildCopy(dst, src []byte, n int) {
+	for c := 0; c < n; c += 16 {
+		kcopy16(dst[c:], src[c:])
+	}
+}
+
+// koverlapCopy replicates n bytes of the offset-periodic pattern ending at
+// buf[d] onto buf[d:d+n]; same contract as the unsafe tier.
+func koverlapCopy(buf []byte, d, offset, n int) {
+	for j := 0; j < n; j++ {
+		buf[d+j] = buf[d-offset+j]
+	}
+}

@@ -1,0 +1,180 @@
+package lzfast_test
+
+// Differential and golden tests pinning the production fast-mode encoder
+// (encode_fast.go) and the kernel primitives (kernel_unsafe.go /
+// kernel_portable.go) to their reference implementations. Together with
+// FuzzCompressFastUnsafe these enforce the kernel tier's core contract:
+// byte-identical compressed output on every input, on every build.
+//
+// The golden digests at the bottom are the strongest cross-build check: the
+// same constants must hold under the default build and under -tags purego
+// (make test-kernels runs both), so the unsafe tier cannot drift from the
+// portable tier without a test failure.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"adaptio/internal/compress/lzfast"
+	"adaptio/internal/corpus"
+)
+
+// diffSizes probes both sides of every boundary the encoder cares about:
+// the short-input gate (minMatch+1), the 8-byte hash-load scan limit, the
+// 16-byte wild-copy margin, the skip-acceleration ramp, and block sizes
+// around the stream's 128 KB default.
+var diffSizes = []int{
+	0, 1, 4, 5, 6, 7, 8, 9, 12, 15, 16, 17, 23, 31, 32, 33, 63, 64, 65,
+	127, 255, 256, 1 << 10, 4096, 65535, 65536, 65537, 128 << 10, (128 << 10) + 17,
+}
+
+func TestCompressFastDifferential(t *testing.T) {
+	t.Logf("kernel tier: %s", lzfast.KernelName)
+	kinds := []corpus.Kind{corpus.High, corpus.Moderate, corpus.Low}
+	for _, kind := range kinds {
+		for _, n := range diffSizes {
+			for seed := uint64(1); seed <= 3; seed++ {
+				src := corpus.Generate(kind, n, seed)
+				checkEncodersAgree(t, src)
+			}
+		}
+	}
+}
+
+// TestCompressFastDifferentialAdversarial feeds the encoder pair inputs
+// that corpus generators do not produce: uniform random bytes, all-zero
+// runs, an alternating pattern with period below tinyOverlapOffset, and
+// random splices of the above (which straddle compressible and
+// incompressible regions mid-block).
+func TestCompressFastDifferentialAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	random := make([]byte, 1<<16)
+	rng.Read(random)
+	zeros := make([]byte, 1<<16)
+	period3 := make([]byte, 1<<12)
+	for i := range period3 {
+		period3[i] = byte(i % 3)
+	}
+	for _, src := range [][]byte{random, zeros, period3} {
+		for _, n := range diffSizes {
+			if n > len(src) {
+				continue
+			}
+			checkEncodersAgree(t, src[:n])
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		var spliced []byte
+		for len(spliced) < 1<<14 {
+			pick := [][]byte{random, zeros, period3}[rng.Intn(3)]
+			off := rng.Intn(len(pick) - 64)
+			end := min(off+64+rng.Intn(512), len(pick))
+			spliced = append(spliced, pick[off:end]...)
+		}
+		checkEncodersAgree(t, spliced)
+	}
+}
+
+// TestCompressFastDifferentialAppend verifies the frontier-based encoder
+// respects append semantics (non-empty dst with spare capacity) exactly as
+// the reference does.
+func TestCompressFastDifferentialAppend(t *testing.T) {
+	src := corpus.Generate(corpus.Moderate, 1<<12, 5)
+	prefix := []byte("prefix-already-present")
+	ref := lzfast.CompressFastRef(append([]byte(nil), prefix...), src)
+	// Spare capacity beyond the prefix must not leak into the output.
+	dst := make([]byte, len(prefix), len(prefix)+4*len(src))
+	copy(dst, prefix)
+	fast := lzfast.CompressFast(dst, src)
+	if !bytes.Equal(ref, fast) {
+		t.Fatal("append-mode encoder outputs diverge")
+	}
+	if !bytes.HasPrefix(fast, prefix) {
+		t.Fatal("append-mode output does not preserve prefix")
+	}
+}
+
+// checkEncodersAgree requires byte-identical output from the production and
+// reference encoders, and a clean reference-decoder round trip.
+func checkEncodersAgree(t *testing.T, src []byte) {
+	t.Helper()
+	ref := lzfast.CompressFastRef(nil, src)
+	fast := lzfast.CompressFast(nil, src)
+	if !bytes.Equal(ref, fast) {
+		i := 0
+		for i < len(ref) && i < len(fast) && ref[i] == fast[i] {
+			i++
+		}
+		t.Fatalf("encoder outputs diverge for %d-byte input: ref %d bytes, fast %d bytes, first difference at %d",
+			len(src), len(ref), len(fast), i)
+	}
+	out, err := lzfast.DecompressRef(nil, fast, len(src))
+	if err != nil {
+		t.Fatalf("reference decoder rejects fast encoder output for %d-byte input: %v", len(src), err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("round trip mismatch for %d-byte input", len(src))
+	}
+}
+
+// TestMatchLenKernelDifferential pins the kernel match-extension primitive
+// to the reference byte-counting loop on random inputs, with positions
+// placed to straddle the 8-byte-window boundaries and the slice end.
+func TestMatchLenKernelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]byte, 4096)
+	rng.Read(src)
+	// Plant long equal runs so extensions cross several 8-byte windows.
+	copy(src[1024:], src[0:512])
+	copy(src[2048:], src[0:1024])
+	for trial := 0; trial < 20000; trial++ {
+		a := rng.Intn(len(src) - 1)
+		b := a + 1 + rng.Intn(len(src)-a-1)
+		got := lzfast.MatchLenKernel(src, a, b)
+		want := lzfast.MatchLenRef(src, a, b)
+		if got != want {
+			t.Fatalf("matchLen(%d, %d) = %d, reference says %d", a, b, got, want)
+		}
+	}
+	// Exhaustive tail positions: every (a, b) in the last 24 bytes.
+	for b := len(src) - 24; b < len(src); b++ {
+		for a := b - 16; a < b; a++ {
+			if lzfast.MatchLenKernel(src, a, b) != lzfast.MatchLenRef(src, a, b) {
+				t.Fatalf("matchLen tail divergence at a=%d b=%d", a, b)
+			}
+		}
+	}
+}
+
+// goldenDigests are SHA-256 hex digests of each codec's compressed output
+// on fixed corpus blocks. They pin the wire bytes across kernel tiers and
+// over time: run under both the default build and -tags purego, the same
+// constants prove the two tiers serialize identically, and any future
+// change to the parse (which changes compressed bytes, a stream-visible
+// event) has to update them consciously.
+var goldenDigests = []struct {
+	name   string
+	kind   corpus.Kind
+	size   int
+	codec  interface{ Compress(dst, src []byte) []byte }
+	digest string
+}{
+	{"fast/high/64K", corpus.High, 64 << 10, lzfast.Fast{}, "e8cdb8b18d041840498519b7a751543700d8235f9db9f63efcb4267c9f54551f"},
+	{"fast/moderate/64K", corpus.Moderate, 64 << 10, lzfast.Fast{}, "606ceded89a5b46667b92c9cf32a6c31a980fbb9ba556942404feaa222963e1f"},
+	{"fast/low/64K", corpus.Low, 64 << 10, lzfast.Fast{}, "d4565d7fce98d90082e3e22ba9448a058f85310da338c4d2898bdb37933e3c75"},
+	{"hc/moderate/64K", corpus.Moderate, 64 << 10, lzfast.HC{}, "ae6326f0dfc79b7af4deb741e5f04110560b8bc9be827c094b4512f5e40766bc"},
+	{"hc/low/64K", corpus.Low, 64 << 10, lzfast.HC{}, "c889d5677ea815185c39bec871b9e23ebc63d2f70ec367239488c3349e8a277d"},
+}
+
+func TestGoldenDigests(t *testing.T) {
+	for _, g := range goldenDigests {
+		src := corpus.Generate(g.kind, g.size, 1)
+		sum := sha256.Sum256(g.codec.Compress(nil, src))
+		if got := hex.EncodeToString(sum[:]); got != g.digest {
+			t.Errorf("%s (%s tier): digest %s, want %s", g.name, lzfast.KernelName, got, g.digest)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+//go:build (amd64 || arm64) && !purego
+
+package lzfast
+
+// Unsafe kernel tier: raw-pointer 8/16-byte load-store primitives for the
+// compression match loops and the decoder's wild copies. amd64 and arm64
+// are little-endian and tolerate unaligned word access, so these primitives
+// agree byte-for-byte with the binary.LittleEndian reference primitives in
+// lzfast.go — they only drop the per-access slice bounds checks. The
+// portable twin (kernel_portable.go, selected by the purego build tag or
+// any other GOARCH) delegates to the reference primitives; the golden
+// digest tests and FuzzCompressFastUnsafe pin both builds to identical
+// compressed output.
+//
+// Every caller is responsible for bounds: a k-primitive reading or writing
+// n bytes at index i requires i >= 0 and i+n <= len of the corresponding
+// slice (kwildCopy callers must additionally honor its overshoot margin).
+
+import (
+	"math/bits"
+	"unsafe"
+)
+
+// kernelName tells test logs which tier a build exercised.
+const kernelName = "unsafe"
+
+// kload32 returns the little-endian uint32 at b[i:i+4] without bounds
+// checks.
+func kload32(b []byte, i int) uint32 {
+	return *(*uint32)(unsafe.Add(unsafe.Pointer(unsafe.SliceData(b)), i))
+}
+
+// kload64 returns the little-endian uint64 at b[i:i+8] without bounds
+// checks.
+func kload64(b []byte, i int) uint64 {
+	return *(*uint64)(unsafe.Add(unsafe.Pointer(unsafe.SliceData(b)), i))
+}
+
+// kmatchLen is matchLen with the 8-byte-equal loop replaced by a single
+// XOR + trailing-zero count: the first differing byte index inside a
+// 64-bit window is TrailingZeros64(diff)/8 on little-endian, which is
+// exactly where the reference's byte tail would have stopped.
+func kmatchLen(src []byte, a, b int) int {
+	n := 0
+	limit := len(src) - b
+	for n+8 <= limit {
+		diff := kload64(src, a+n) ^ kload64(src, b+n)
+		if diff != 0 {
+			return n + bits.TrailingZeros64(diff)>>3
+		}
+		n += 8
+	}
+	for n < limit && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+// kcopy16 copies exactly 16 bytes as two raw 8-byte load-stores.
+func kcopy16(dst, src []byte) {
+	d := unsafe.Pointer(unsafe.SliceData(dst))
+	s := unsafe.Pointer(unsafe.SliceData(src))
+	*(*uint64)(d) = *(*uint64)(s)
+	*(*uint64)(unsafe.Add(d, 8)) = *(*uint64)(unsafe.Add(s, 8))
+}
+
+// kwildCopy copies n bytes from src to dst in 16-byte strides, writing up
+// to wildCopyMargin-1 bytes past n. Callers guarantee both slices hold at
+// least n rounded up to the next 16-byte multiple.
+func kwildCopy(dst, src []byte, n int) {
+	d := unsafe.Pointer(unsafe.SliceData(dst))
+	s := unsafe.Pointer(unsafe.SliceData(src))
+	for c := 0; c < n; c += 16 {
+		*(*uint64)(unsafe.Add(d, c)) = *(*uint64)(unsafe.Add(s, c))
+		*(*uint64)(unsafe.Add(d, c+8)) = *(*uint64)(unsafe.Add(s, c+8))
+	}
+}
+
+// koverlapCopy replicates n bytes of the offset-periodic pattern ending at
+// buf[d] onto buf[d:d+n], byte by byte so any offset >= 1 is legal.
+// Callers guarantee d-offset >= 0 and d+n <= len(buf).
+func koverlapCopy(buf []byte, d, offset, n int) {
+	p := unsafe.Pointer(unsafe.SliceData(buf))
+	for j := 0; j < n; j++ {
+		*(*byte)(unsafe.Add(p, d+j)) = *(*byte)(unsafe.Add(p, d-offset+j))
+	}
+}

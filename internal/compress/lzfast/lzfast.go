@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"adaptio/internal/compress"
+	"adaptio/internal/compress/probe"
 )
 
 const (
@@ -39,13 +40,40 @@ const (
 	maxOffset = 65535
 
 	// hashLog is the log2 size of the fast-mode hash table.
-	hashLog = 14
+	hashLog = 12
 	// hcHashLog is the log2 size of the hash-chain head table.
 	hcHashLog = 16
+
+	// tinyOverlapOffset: the fast parse refuses minimum-length matches
+	// closer than this. A length-4 match at offset < 8 saves exactly one
+	// byte of output but forces the decoder through a serialized
+	// byte-at-a-time overlap copy; on barely-compressible (JPEG-like)
+	// data these account for nearly half of all matches, so declining
+	// them trades <1% of ratio for a major decode-throughput win.
+	tinyOverlapOffset = 8
 )
 
+// defaultProbe is the entropy pre-probe consulted by the codecs' Compress
+// methods when no override is set (see internal/compress/probe).
+var defaultProbe = probe.Default()
+
+// codecProbe resolves a codec's probe override.
+func codecProbe(override *probe.Config) probe.Config {
+	if override != nil {
+		return *override
+	}
+	return defaultProbe
+}
+
 // Fast is the greedy single-probe parameterization (paper level LIGHT).
-type Fast struct{}
+//
+// Probe overrides the entropy pre-probe consulted before compressing a
+// block: hopeless (incompressible) blocks are emitted as a single
+// literals-only sequence without paying the match-loop cost. nil uses
+// probe.Default(); set &probe.Disabled() to force full compression.
+type Fast struct {
+	Probe *probe.Config
+}
 
 // ID implements compress.Codec.
 func (Fast) ID() uint8 { return compress.IDLZFast }
@@ -54,7 +82,12 @@ func (Fast) ID() uint8 { return compress.IDLZFast }
 func (Fast) Name() string { return "lzfast" }
 
 // Compress implements compress.Codec.
-func (Fast) Compress(dst, src []byte) []byte { return compressFast(dst, src) }
+func (f Fast) Compress(dst, src []byte) []byte {
+	if codecProbe(f.Probe).Hopeless(src) {
+		return emitSequence(dst, src, 0, 0)
+	}
+	return compressFast(dst, src)
+}
 
 // Decompress implements compress.Codec.
 func (Fast) Decompress(dst, src []byte, decompressedSize int) ([]byte, error) {
@@ -63,9 +96,11 @@ func (Fast) Decompress(dst, src []byte, decompressedSize int) ([]byte, error) {
 
 // HC is the hash-chain deep-search parameterization (paper level MEDIUM).
 // Depth bounds the number of candidate positions examined per input
-// position; the zero value uses a default depth of 64.
+// position; the zero value uses a default depth of 64. Probe is the same
+// entropy pre-probe override as Fast.Probe.
 type HC struct {
 	Depth int
+	Probe *probe.Config
 }
 
 // ID implements compress.Codec.
@@ -76,6 +111,9 @@ func (HC) Name() string { return "lzfast-hc" }
 
 // Compress implements compress.Codec.
 func (h HC) Compress(dst, src []byte) []byte {
+	if codecProbe(h.Probe).Hopeless(src) {
+		return emitSequence(dst, src, 0, 0)
+	}
 	depth := h.Depth
 	if depth <= 0 {
 		depth = 64
@@ -92,8 +130,22 @@ func load32(b []byte, i int) uint32 {
 	return binary.LittleEndian.Uint32(b[i:])
 }
 
+func load64(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[i:])
+}
+
 func hash4(u uint32, bits uint) uint32 {
 	return (u * 2654435761) >> (32 - bits)
+}
+
+// hash5 keys the fast-mode table on the low 5 bytes of a little-endian
+// 64-bit load (the same choice reference LZ4 makes on 64-bit hosts):
+// prose-like data is dense with 4-byte-only matches whose emit overhead
+// rivals the bytes they save, and a 5-byte key never surfaces them. The
+// candidate check still verifies only 4 bytes, so a hash collision can
+// still yield a legal minMatch match.
+func hash5(u uint64, bits uint) uint32 {
+	return uint32(((u << 24) * 889523592379) >> (64 - bits))
 }
 
 // matchLen returns the length of the common prefix of src[a:] and src[b:],
@@ -171,7 +223,13 @@ func newFastState() *fastState { return &fastState{base: 1} }
 
 var fastPool = sync.Pool{New: func() any { return newFastState() }}
 
-func compressFast(dst, src []byte) []byte {
+// compressFastRef is the retained reference encoder: the fast-mode parse
+// expressed with the bounds-checked primitives and append-based emit. The
+// production encoder (compressFast in encode_fast.go) must produce exactly
+// these bytes on every input, on both kernel tiers; the differential tests
+// and FuzzCompressFastUnsafe enforce that. Keep this implementation boring
+// — it is the executable specification of the parse.
+func compressFastRef(dst, src []byte) []byte {
 	if len(src) < minMatch+1 {
 		return emitSequence(dst, src, 0, 0)
 	}
@@ -186,35 +244,41 @@ func compressFast(dst, src []byte) []byte {
 	table := &st.table
 	anchor := 0
 	i := 0
-	// Leave room so that a match can always be extended and the final
-	// bytes are emitted as literals.
-	mfLimit := len(src) - minMatch
+	// The 5-byte hash loads 8 bytes per probe, so the scan stops 8 bytes
+	// short of the end; the tail is emitted as literals.
+	mfLimit := len(src) - 8
 	misses := 0
 	for i <= mfLimit {
-		h := hash4(load32(src, i), hashLog)
+		h := hash5(load64(src, i), hashLog)
 		cand := int(table[h] - base)
 		table[h] = base + int32(i)
 		if cand >= 0 && i-cand <= maxOffset && load32(src, cand) == load32(src, i) {
 			mlen := minMatch + matchLen(src, cand+minMatch, i+minMatch)
-			dst = emitSequence(dst, src[anchor:i], i-cand, mlen)
-			// Seed the table inside the match so that subsequent
-			// repetitions are found quickly.
-			if i+mlen <= mfLimit {
-				mid := i + mlen/2
-				if mid != i && mid <= mfLimit {
-					table[hash4(load32(src, mid), hashLog)] = base + int32(mid)
+			if mlen > minMatch || i-cand >= tinyOverlapOffset {
+				dst = emitSequence(dst, src[anchor:i], i-cand, mlen)
+				// Seed the table inside the match so that subsequent
+				// repetitions are found quickly.
+				if mlen >= 16 && i+mlen <= mfLimit {
+					mid := i + mlen/2
+					if mid != i && mid <= mfLimit {
+						table[hash5(load64(src, mid), hashLog)] = base + int32(mid)
+					}
 				}
+				i += mlen
+				anchor = i
+				misses = 0
+				continue
 			}
-			i += mlen
-			anchor = i
-			misses = 0
+			// Declined tiny near-overlap: step past the matched window —
+			// positions inside it would only re-offer the same tiny match.
+			i += minMatch
 			continue
 		}
 		// Skip acceleration on incompressible regions: the step grows
 		// as consecutive probes fail, bounding worst-case time on
 		// high-entropy input (same idea as LZ4's acceleration).
 		misses++
-		i += 1 + misses>>6
+		i += 1 + misses>>5
 	}
 	return emitSequence(dst, src[anchor:], 0, 0)
 }
@@ -236,22 +300,24 @@ var hcPool = sync.Pool{New: func() any { return new(hcState) }}
 // Being a method (not a closure over compressHC locals) lets the compiler
 // inline it into the parse loop.
 func (st *hcState) insert(src []byte, pos int) {
-	h := hash4(load32(src, pos), hcHashLog)
+	h := hash4(kload32(src, pos), hcHashLog)
 	st.prev[pos] = st.head[h]
 	st.head[h] = int32(pos)
 }
 
 // bestMatch returns the longest match for position i, examining at most
-// depth chain entries. Ties prefer the smaller offset.
+// depth chain entries. Ties prefer the smaller offset. The chain walk and
+// match extension run on the kernel primitives (kload32/kmatchLen), whose
+// results are byte-identical to the reference primitives on every tier.
 func (st *hcState) bestMatch(src []byte, i, depth int) (bLen, bOff int) {
-	cand := int(st.head[hash4(load32(src, i), hcHashLog)])
+	cand := int(st.head[hash4(kload32(src, i), hcHashLog)])
 	prev := st.prev
 	for d := 0; d < depth && cand >= 0; d++ {
 		if i-cand > maxOffset {
 			break
 		}
 		if bLen == 0 || (i+bLen < len(src) && src[cand+bLen] == src[i+bLen]) {
-			if l := matchLen(src, cand, i); l >= minMatch && l > bLen {
+			if l := kmatchLen(src, cand, i); l >= minMatch && l > bLen {
 				bLen, bOff = l, i-cand
 			}
 		}

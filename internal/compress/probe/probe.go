@@ -1,0 +1,203 @@
+// Package probe implements a cheap entropy pre-probe that decides, before
+// any codec runs, whether a block is worth compressing at all.
+//
+// The probe samples a few KB spread across the block and applies two tests
+// in order:
+//
+//  1. A byte-histogram Shannon-entropy gate. Sampled entropy at or below
+//     Config.EntropyBits means the block is plainly compressible (text,
+//     sparse binary, logs) and the probe accepts immediately.
+//  2. A miniature LZ match probe over the same sample. High sampled entropy
+//     alone cannot condemn a block: JPEG-style entropy-coded streams sit at
+//     ~7.9 bits/byte yet still hold a few percent of short repeats (marker
+//     stuffing, zero-coefficient runs) that the real codecs exploit. The
+//     match probe hashes every 4-byte window in the sample and counts how
+//     often a window recurs; a hit rate at or above Config.MinHitRate keeps
+//     the block on the compression path.
+//
+// Only blocks that fail both tests — near-uniform byte distribution and no
+// recurring 4-byte windows, i.e. already-compressed or encrypted payloads —
+// are declared hopeless and sent straight to stored-raw framing, skipping
+// the full compression cost.
+//
+// The probe reads O(sample) bytes and allocates nothing; Hopeless is safe
+// for concurrent use. Probing a 128 KB block costs roughly 2 % of one
+// lzfast compression pass over the same block.
+package probe
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Config tunes the probe. The zero value is NOT valid; start from Default
+// (or Disabled) and override fields as needed.
+type Config struct {
+	// Disabled turns the probe off entirely: Hopeless always reports
+	// false and every block proceeds to the codec.
+	Disabled bool
+
+	// MinLen is the smallest block the probe will judge. Shorter blocks
+	// are always kept: the sample would be most of the block anyway, and
+	// the compression cost being saved is small.
+	MinLen int
+
+	// Chunks and ChunkBytes shape the sample: Chunks windows of
+	// ChunkBytes each, spread evenly across the block so that a block
+	// with mixed regions (e.g. text followed by an embedded image) is
+	// seen in every region.
+	Chunks     int
+	ChunkBytes int
+
+	// EntropyBits is the sampled Shannon-entropy threshold (bits/byte)
+	// at or below which a block is accepted without the match probe.
+	EntropyBits float64
+
+	// MinHitRate is the minimum fraction of sampled 4-byte windows that
+	// must recur for a high-entropy block to stay on the compression
+	// path. Uniform random data measures ~0 here; JPEG-like entropy
+	// streams measure several percent.
+	MinHitRate float64
+}
+
+// Default returns the production configuration, calibrated against the
+// repo's corpus kinds (internal/corpus): High (~0.6 bits/byte) and
+// Moderate (~4.1) pass the entropy gate; Low (~7.9, JPEG-like) fails it
+// but is rescued by the match probe (hit rate well above MinHitRate);
+// uniform random and already-compressed payloads fail both and are
+// skipped.
+func Default() Config {
+	return Config{
+		MinLen:      4096,
+		Chunks:      4,
+		ChunkBytes:  1024,
+		EntropyBits: 7.2,
+		MinHitRate:  0.02,
+	}
+}
+
+// Disabled returns a configuration whose Hopeless method always reports
+// false, keeping every block on the compression path.
+func Disabled() Config { return Config{Disabled: true} }
+
+// valid reports whether the sampling parameters are usable.
+func (c Config) valid() bool {
+	return c.Chunks > 0 && c.ChunkBytes >= 8
+}
+
+// Hopeless reports whether src is judged incompressible: true means the
+// caller should skip compression and frame the block stored-raw. It never
+// returns true for blocks shorter than MinLen or when the probe is
+// disabled or misconfigured.
+func (c Config) Hopeless(src []byte) bool {
+	if c.Disabled || !c.valid() || len(src) < c.MinLen {
+		return false
+	}
+	sampleLen := c.Chunks * c.ChunkBytes
+	if sampleLen >= len(src) {
+		// Degenerate sampling: judge the whole block as one chunk.
+		return c.entropy(src) > c.EntropyBits && c.hitRate(src) < c.MinHitRate
+	}
+	if c.sampledEntropy(src) <= c.EntropyBits {
+		return false
+	}
+	return c.sampledHitRate(src) < c.MinHitRate
+}
+
+// chunk returns the i-th sample window of src (i in [0, Chunks)), spread
+// evenly so chunk 0 starts at the block head and the last chunk ends at
+// the block tail.
+func (c Config) chunk(src []byte, i int) []byte {
+	span := len(src) - c.ChunkBytes
+	var off int
+	if c.Chunks > 1 {
+		off = span * i / (c.Chunks - 1)
+	}
+	return src[off : off+c.ChunkBytes]
+}
+
+// sampledEntropy folds all sample windows into one byte histogram and
+// returns its Shannon entropy in bits per byte.
+func (c Config) sampledEntropy(src []byte) float64 {
+	var hist [256]uint32
+	total := 0
+	for i := 0; i < c.Chunks; i++ {
+		for _, b := range c.chunk(src, i) {
+			hist[b]++
+		}
+		total += c.ChunkBytes
+	}
+	return histEntropy(&hist, total)
+}
+
+// entropy is the degenerate-case variant over the whole block.
+func (c Config) entropy(src []byte) float64 {
+	var hist [256]uint32
+	for _, b := range src {
+		hist[b]++
+	}
+	return histEntropy(&hist, len(src))
+}
+
+func histEntropy(hist *[256]uint32, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	inv := 1 / float64(total)
+	e := 0.0
+	for _, n := range hist {
+		if n == 0 {
+			continue
+		}
+		p := float64(n) * inv
+		e -= p * math.Log2(p)
+	}
+	return e
+}
+
+// probeHashLog sizes the match probe's table: 4096 slots comfortably
+// covers a 1 KB chunk's distinct 4-byte windows.
+const probeHashLog = 12
+
+// sampledHitRate averages the per-chunk 4-byte recurrence rate. Each
+// chunk is probed independently so a "match" never spans two sample
+// windows that are far apart in the real block.
+func (c Config) sampledHitRate(src []byte) float64 {
+	hits, positions := 0, 0
+	for i := 0; i < c.Chunks; i++ {
+		h, p := chunkHits(c.chunk(src, i))
+		hits += h
+		positions += p
+	}
+	if positions == 0 {
+		return 0
+	}
+	return float64(hits) / float64(positions)
+}
+
+// hitRate is the degenerate-case variant over the whole block.
+func (c Config) hitRate(src []byte) float64 {
+	h, p := chunkHits(src)
+	if p == 0 {
+		return 0
+	}
+	return float64(h) / float64(p)
+}
+
+// chunkHits counts sampled positions whose 4-byte window exactly matches
+// an earlier window in the same chunk (single-probe hash table, so the
+// count is a floor — collisions only ever hide matches, never invent
+// them).
+func chunkHits(chunk []byte) (hits, positions int) {
+	var table [1 << probeHashLog]uint16
+	for pos := 0; pos+4 <= len(chunk); pos++ {
+		u := binary.LittleEndian.Uint32(chunk[pos:])
+		h := (u * 2654435761) >> (32 - probeHashLog)
+		if prev := table[h]; prev != 0 && binary.LittleEndian.Uint32(chunk[prev-1:]) == u {
+			hits++
+		}
+		table[h] = uint16(pos + 1)
+		positions++
+	}
+	return hits, positions
+}

@@ -27,6 +27,29 @@ func encodeChunked(t *testing.T, cfg stream.WriterConfig, src []byte, rng *rand.
 	if err != nil {
 		t.Fatal(err)
 	}
+	writeChunked(t, w, &buf, src, rng)
+	return buf.Bytes()
+}
+
+// encodeChunkedParallel is encodeChunked through the public ParallelWriter.
+func encodeChunkedParallel(t *testing.T, cfg stream.WriterConfig, workers int, src []byte, rng *rand.Rand) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := stream.NewParallelWriter(&buf, cfg, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeChunked(t, w, &buf, src, rng)
+	return buf.Bytes()
+}
+
+type chunkWriter interface {
+	Write([]byte) (int, error)
+	Close() error
+}
+
+func writeChunked(t *testing.T, w chunkWriter, buf *bytes.Buffer, src []byte, rng *rand.Rand) {
+	t.Helper()
 	for off := 0; off < len(src); {
 		n := 1 + rng.Intn(96<<10)
 		if off+n > len(src) {
@@ -40,7 +63,6 @@ func encodeChunked(t *testing.T, cfg stream.WriterConfig, src []byte, rng *rand.
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	return buf.Bytes()
 }
 
 func TestWireDeterminismSerialVsParallel(t *testing.T) {
@@ -57,7 +79,8 @@ func TestWireDeterminismSerialVsParallel(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(level)))
 			want := encodeChunked(t, serialCfg, src, rng)
 
-			// The same input through the parallel pipeline, and again
+			// The same input through the parallel pipeline (both the
+			// Parallelism knob and the public ParallelWriter), and again
 			// serially with a different chunking, must produce the
 			// identical wire stream.
 			for trial := 0; trial < 3; trial++ {
@@ -67,6 +90,11 @@ func TestWireDeterminismSerialVsParallel(t *testing.T) {
 				if !bytes.Equal(want, got) {
 					t.Fatalf("parallelism %d: wire bytes differ from serial writer (%d vs %d bytes)",
 						parCfg.Parallelism, len(got), len(want))
+				}
+				pw := encodeChunkedParallel(t, serialCfg, 2+trial, src, rng)
+				if !bytes.Equal(want, pw) {
+					t.Fatalf("ParallelWriter(%d workers): wire bytes differ from serial writer (%d vs %d bytes)",
+						2+trial, len(pw), len(want))
 				}
 				reChunked := encodeChunked(t, serialCfg, src, rng)
 				if !bytes.Equal(want, reChunked) {

@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"adaptio/internal/compress"
+	"adaptio/internal/compress/probe"
 )
 
 // DefaultBlockSize is Nephele's internal buffer size: "Nephele internally
@@ -140,29 +141,43 @@ func maxFrameSize(n int) int {
 // scratch (which must be empty; its storage is reused) and returns the
 // resulting frame as up to two pieces. When the codec shrank the block,
 // head is the complete frame (header + compressed payload) and tail is nil.
-// When the block is stored raw — an identity level, or the codec failed to
+// When the block is stored raw — an identity level, the codec failed to
 // shrink it (the standard stored-block fallback, so a frame never expands
-// by more than the header) — head is the bare header and tail aliases
-// block: the caller can then put both pieces on the wire without ever
-// copying the block into scratch (see writeFrame / WriteVectored). tail is
-// only valid until block's buffer is reused.
-func encodeFramePieces(scratch []byte, ladder compress.Ladder, level int, block []byte) (head, tail []byte, codecID uint8) {
+// by more than the header), or the entropy pre-probe judged it hopeless —
+// head is the bare header and tail aliases block: the caller can then put
+// both pieces on the wire without ever copying the block into scratch (see
+// writeFrame / WriteVectored). tail is only valid until block's buffer is
+// reused.
+//
+// The probe runs before the codec: a hopeless block (near-uniform byte
+// distribution AND no recurring 4-byte windows, see internal/compress/
+// probe) goes straight to stored-raw framing, so its bytes are never run
+// through — or even copied by — the codec. skipped reports that outcome.
+// The wire bytes are identical either way, because a codec attempt on such
+// a block would fail to shrink it and take the same stored-raw fallback;
+// the probe only removes the wasted work.
+func encodeFramePieces(scratch []byte, ladder compress.Ladder, level int, block []byte, pr probe.Config) (head, tail []byte, codecID uint8, skipped bool) {
 	crc := crc32.Checksum(block, crcTable)
 	scratch = append(scratch, make([]byte, headerSize)...)
 	codec := ladder[level].Codec
 	codecID = codec.ID()
 	if codecID != compress.IDNone {
-		scratch = codec.Compress(scratch, block)
-		if compLen := len(scratch) - headerSize; compLen < len(block) {
-			putHeader(scratch, header{
-				codecID: codecID,
-				rawLen:  len(block),
-				compLen: compLen,
-				crc:     crc,
-			})
-			return scratch, nil, codecID
+		if pr.Hopeless(block) {
+			skipped = true
+			codecID = compress.IDNone
+		} else {
+			scratch = codec.Compress(scratch, block)
+			if compLen := len(scratch) - headerSize; compLen < len(block) {
+				putHeader(scratch, header{
+					codecID: codecID,
+					rawLen:  len(block),
+					compLen: compLen,
+					crc:     crc,
+				})
+				return scratch, nil, codecID, false
+			}
+			codecID = compress.IDNone
 		}
-		codecID = compress.IDNone
 	}
 	putHeader(scratch, header{
 		codecID: compress.IDNone,
@@ -170,30 +185,17 @@ func encodeFramePieces(scratch []byte, ladder compress.Ladder, level int, block 
 		compLen: len(block),
 		crc:     crc,
 	})
-	return scratch[:headerSize], block, codecID
-}
-
-// encodeFrame compresses block with the given ladder level and appends one
-// complete contiguous frame (header + payload) to dst, which must be empty.
-// It returns the extended dst and the codec ID actually used. The pipeline
-// path uses this form because its block buffer is released before the
-// flusher writes the frame; the serial path uses encodeFramePieces and a
-// vectored write instead.
-func encodeFrame(dst []byte, ladder compress.Ladder, level int, block []byte) (out []byte, codecID uint8) {
-	head, tail, codecID := encodeFramePieces(dst, ladder, level, block)
-	if tail != nil {
-		head = append(head, tail...)
-	}
-	return head, codecID
+	return scratch[:headerSize], block, codecID, skipped
 }
 
 // writeFrame encodes one frame into scratch and writes it to w — as two
 // vectored pieces for stored-raw frames, so the block is never copied into
 // scratch. It returns the number of payload (compressed) bytes written, the
-// codec ID actually used, the (possibly grown) scratch — callers keep it so
-// a rare mid-stream growth is paid once, not per frame — and any I/O error.
-func writeFrame(w io.Writer, ladder compress.Ladder, level int, block, scratch []byte) (payload int, codecID uint8, scratchOut []byte, err error) {
-	head, tail, codecID := encodeFramePieces(scratch[:0], ladder, level, block)
+// codec ID actually used, whether the entropy probe skipped the codec, the
+// (possibly grown) scratch — callers keep it so a rare mid-stream growth is
+// paid once, not per frame — and any I/O error.
+func writeFrame(w io.Writer, ladder compress.Ladder, level int, block, scratch []byte, pr probe.Config) (payload int, codecID uint8, skipped bool, scratchOut []byte, err error) {
+	head, tail, codecID, skipped := encodeFramePieces(scratch[:0], ladder, level, block, pr)
 	payload = len(head) - headerSize + len(tail)
 	if tail == nil {
 		err = writeFull(w, head)
@@ -201,9 +203,9 @@ func writeFrame(w io.Writer, ladder compress.Ladder, level int, block, scratch [
 		err = WriteVectored(w, head, tail)
 	}
 	if err != nil {
-		return 0, codecID, head, err
+		return 0, codecID, skipped, head, err
 	}
-	return payload, codecID, head, nil
+	return payload, codecID, skipped, head, nil
 }
 
 // readFrameHeader reads and parses one frame header from r into hdr. It

@@ -23,6 +23,9 @@ type writerObs struct {
 	blocks        *obs.Counter
 	levelSwitches *obs.Counter
 	rawFallbacks  *obs.Counter
+	// probeSkips counts the RawFallbacks subset where the entropy pre-probe
+	// skipped the codec outright (Stats.ProbeSkips).
+	probeSkips *obs.Counter
 	// copiedBytes / passthroughBytes split the application bytes by
 	// user-space copy cost (see Stats.CopiedBytes): staged or
 	// codec-transformed bytes vs stored-raw bytes aliased onto the wire.
@@ -45,6 +48,7 @@ func newWriterObs(scope *obs.Scope, ladder compress.Ladder) writerObs {
 		blocks:           scope.Counter("blocks"),
 		levelSwitches:    scope.Counter("level_switches"),
 		rawFallbacks:     scope.Counter("raw_fallbacks"),
+		probeSkips:       scope.Counter("probe_skips"),
 		copiedBytes:      scope.Counter("copied_bytes"),
 		passthroughBytes: scope.Counter("passthrough_bytes"),
 		windowRate:       scope.Histogram("window_rate", rateBuckets),

@@ -5,6 +5,7 @@ import (
 
 	"adaptio/internal/block"
 	"adaptio/internal/compress"
+	"adaptio/internal/compress/probe"
 )
 
 // pipeline is the order-preserving parallel compression engine behind
@@ -15,12 +16,18 @@ import (
 // ordered and self-contained).
 //
 // Buffer lifecycle: submit transfers ownership of the block's arena buffer
-// to the pipeline. A worker releases it right after encoding the frame into
-// a fresh arena buffer, which the flusher releases after the frame reaches
-// the underlying writer. stop drains everything in flight, so by the time
-// stop returns no pipeline-owned buffer is outstanding.
+// to the pipeline. For a compressed frame the worker releases it right
+// after encoding into a fresh arena buffer; for a stored-raw frame (codec
+// declined, failed to shrink, or probe-skipped) the worker keeps the block
+// buffer as the frame's tail piece so the raw bytes are never copied into
+// the frame buffer — the flusher puts header and block on the wire as a
+// vectored write, exactly like the serial path. The flusher releases
+// whatever buffers each frame still holds after the write. stop drains
+// everything in flight, so by the time stop returns no pipeline-owned
+// buffer is outstanding.
 type pipeline struct {
 	ladder compress.Ladder
+	probe  probe.Config
 	dst    writeSink
 
 	jobs chan compressJob
@@ -51,16 +58,19 @@ type compressJob struct {
 }
 
 type encodedFrame struct {
-	frame   *block.Buf // released by the flusher after the write
+	frame   *block.Buf // head piece (header [+ compressed payload]); released by the flusher
+	tail    *block.Buf // stored-raw frames only: the block itself, written vectored after frame
 	rawLen  int
 	staged  int64 // carried through for the sink's copy accounting
 	level   int
 	codecID uint8
+	skipped bool // entropy probe sent the block straight to stored-raw
 }
 
-func newPipeline(ladder compress.Ladder, dst writeSink, workers int) *pipeline {
+func newPipeline(ladder compress.Ladder, pr probe.Config, dst writeSink, workers int) *pipeline {
 	p := &pipeline{
 		ladder: ladder,
+		probe:  pr,
 		dst:    dst,
 		jobs:   make(chan compressJob, workers*2),
 		done:   make(map[uint64]encodedFrame),
@@ -80,11 +90,18 @@ func (p *pipeline) worker() {
 	for job := range p.jobs {
 		rawLen := len(job.block.B)
 		fbuf := block.Get(maxFrameSize(rawLen))
-		frame, codecID := encodeFrame(fbuf.B[:0], p.ladder, job.level, job.block.B)
-		fbuf.B = frame
-		job.block.Release()
+		head, tail, codecID, skipped := encodeFramePieces(fbuf.B[:0], p.ladder, job.level, job.block.B, p.probe)
+		fbuf.B = head
+		ef := encodedFrame{frame: fbuf, rawLen: rawLen, staged: job.staged, level: job.level, codecID: codecID, skipped: skipped}
+		if tail != nil {
+			// Stored raw: tail aliases job.block.B, so the block buffer
+			// travels with the frame and the flusher releases it.
+			ef.tail = job.block
+		} else {
+			job.block.Release()
+		}
 		p.mu.Lock()
-		p.done[job.seq] = encodedFrame{frame: fbuf, rawLen: rawLen, staged: job.staged, level: job.level, codecID: codecID}
+		p.done[job.seq] = ef
 		p.cond.Broadcast()
 		p.mu.Unlock()
 	}
@@ -111,6 +128,9 @@ func (p *pipeline) flusher() {
 
 		err := p.dst.writeEncodedFrame(f)
 		f.frame.Release()
+		if f.tail != nil {
+			f.tail.Release()
+		}
 
 		p.mu.Lock()
 		p.nextWrite++

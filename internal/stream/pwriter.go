@@ -1,0 +1,50 @@
+package stream
+
+import (
+	"io"
+	"runtime"
+)
+
+// ParallelWriter compresses a frame stream on a worker pool while keeping
+// the wire strictly ordered — the send-side counterpart of ParallelReader,
+// and the public face of WriterConfig.Parallelism. Each 128 KB block (one
+// arena buffer, handed to the pool whole, zero copy) is compressed by one
+// worker; an order-preserving flusher recombines the finished frames so the
+// wire bytes are identical to what a serial Writer with the same
+// configuration would produce — the determinism suite pins serial and
+// parallel output byte-for-byte at every ladder level.
+//
+// A ParallelWriter must be Closed (which flushes and stops the pool); it is
+// not safe for concurrent use, exactly like Writer.
+type ParallelWriter struct {
+	*Writer
+	workers int
+}
+
+// NewParallelWriter creates a parallel compression writer in front of dst
+// with the given worker count; workers < 1 means GOMAXPROCS. cfg.Parallelism
+// is overridden by workers. A single worker degrades to the serial encode
+// path (same wire bytes either way).
+func NewParallelWriter(dst io.Writer, cfg WriterConfig, workers int) (*ParallelWriter, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg.Parallelism = workers
+	w, err := NewWriter(dst, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelWriter{Writer: w, workers: workers}, nil
+}
+
+// Workers returns the size of the compression worker pool.
+func (w *ParallelWriter) Workers() int { return w.workers }
+
+// Counters returns application bytes accepted, wire bytes written and
+// frames cut so far — the mirror of ParallelReader.Counters. Frames still
+// in flight in the pipeline are not yet counted; Flush first for exact
+// totals.
+func (w *ParallelWriter) Counters() (appBytes, wireBytes, blocks int64) {
+	st := w.Stats()
+	return st.AppBytes, st.WireBytes, st.Blocks
+}

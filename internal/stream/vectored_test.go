@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"adaptio/internal/compress"
+	"adaptio/internal/compress/probe"
 	"adaptio/internal/corpus"
 )
 
@@ -122,9 +123,12 @@ func TestEncodeFramePiecesRawAliasesBlock(t *testing.T) {
 	block := incompressible(4096, 1) // raw fallback
 	scratch := make([]byte, 0, maxFrameSize(len(block)))
 
-	head, tail, codecID := encodeFramePieces(scratch, ladder, LevelLight, block)
+	head, tail, codecID, skipped := encodeFramePieces(scratch, ladder, LevelLight, block, probe.Default())
 	if codecID != compress.IDNone {
 		t.Fatalf("incompressible block not stored raw: codec %d", codecID)
+	}
+	if !skipped {
+		t.Fatal("uniform random block not skipped by the entropy probe")
 	}
 	if len(head) != headerSize {
 		t.Fatalf("raw head is %d bytes, want bare header", len(head))
@@ -140,17 +144,28 @@ func TestEncodeFramePiecesRawAliasesBlock(t *testing.T) {
 		t.Fatalf("raw header wrong: %+v", h)
 	}
 
-	// Identity level: Compress must not run at all; same two-piece shape.
-	head, tail, codecID = encodeFramePieces(scratch, ladder, LevelNo, block)
-	if codecID != compress.IDNone || len(head) != headerSize || tail == nil {
-		t.Fatalf("identity level: head %d bytes, tail %v, codec %d", len(head), tail != nil, codecID)
+	// Probe disabled: the codec runs, fails to shrink, and the standard
+	// stored-raw fallback produces the identical two-piece frame.
+	head2, tail2, codecID, skipped := encodeFramePieces(scratch, ladder, LevelLight, block, probe.Disabled())
+	if skipped {
+		t.Fatal("disabled probe reported a skip")
+	}
+	if codecID != compress.IDNone || !bytes.Equal(head2, head) || len(tail2) != len(block) || &tail2[0] != &block[0] {
+		t.Fatal("probe skip and codec fallback disagree on the stored-raw frame")
+	}
+
+	// Identity level: Compress must not run at all; same two-piece shape,
+	// and never counted as a probe skip.
+	head, tail, codecID, skipped = encodeFramePieces(scratch, ladder, LevelNo, block, probe.Default())
+	if codecID != compress.IDNone || len(head) != headerSize || tail == nil || skipped {
+		t.Fatalf("identity level: head %d bytes, tail %v, codec %d, skipped %v", len(head), tail != nil, codecID, skipped)
 	}
 
 	// Compressible block: one contiguous piece, no tail.
 	comp := corpus.Generate(corpus.High, 4096, 1)
-	head, tail, codecID = encodeFramePieces(scratch, ladder, LevelLight, comp)
-	if tail != nil || codecID == compress.IDNone {
-		t.Fatalf("compressible block should be a single piece, tail %v codec %d", tail != nil, codecID)
+	head, tail, codecID, skipped = encodeFramePieces(scratch, ladder, LevelLight, comp, probe.Default())
+	if tail != nil || codecID == compress.IDNone || skipped {
+		t.Fatalf("compressible block should be a single piece, tail %v codec %d skipped %v", tail != nil, codecID, skipped)
 	}
 	if len(head) >= headerSize+len(comp) {
 		t.Fatalf("compressed frame did not shrink: %d bytes", len(head))
@@ -225,7 +240,7 @@ func TestWriteFrameVectoredErrorPropagates(t *testing.T) {
 	block := incompressible(4096, 2)
 	scratch := make([]byte, 0, maxFrameSize(len(block)))
 	// First write (header) succeeds, second (payload) fails.
-	_, _, _, err := writeFrame(&errAfterWriter{n: 1}, ladder, LevelLight, block, scratch)
+	_, _, _, _, err := writeFrame(&errAfterWriter{n: 1}, ladder, LevelLight, block, scratch, probe.Default())
 	if err == nil || err.Error() != "boom" {
 		t.Fatalf("payload write error not propagated: %v", err)
 	}

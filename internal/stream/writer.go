@@ -9,6 +9,7 @@ import (
 
 	"adaptio/internal/block"
 	"adaptio/internal/compress"
+	"adaptio/internal/compress/probe"
 	"adaptio/internal/core"
 	"adaptio/internal/obs"
 	"adaptio/internal/vclock"
@@ -70,9 +71,16 @@ type Stats struct {
 	LevelSwitches int64 // times the active level changed
 	// BlocksPerLevel counts frames per ladder level index.
 	BlocksPerLevel []int64
-	// RawFallbacks counts blocks stored uncompressed because the codec
-	// failed to shrink them.
+	// RawFallbacks counts blocks stored uncompressed despite a compressing
+	// level: the codec failed to shrink them, or the entropy pre-probe sent
+	// them straight to stored-raw framing. The probe-skipped subset is also
+	// counted in ProbeSkips.
 	RawFallbacks int64
+	// ProbeSkips counts blocks the entropy pre-probe judged hopeless, which
+	// therefore skipped the codec entirely (see WriterConfig.Probe). Wire
+	// bytes are unchanged by a skip — the codec would have taken the same
+	// stored-raw fallback — only the compression work is saved.
+	ProbeSkips int64
 	// CopiedBytes counts application bytes that crossed a user-space
 	// buffer-to-buffer copy on their way to the wire: bytes staged into
 	// the pending block by Write (ReadDirect fills the block in place and
@@ -149,6 +157,15 @@ type WriterConfig struct {
 	// the given size; 0 and 1 mean synchronous compression. Frames stay
 	// strictly ordered on the wire, so the receiver needs no changes.
 	Parallelism int
+	// Probe overrides the entropy pre-probe consulted before each block is
+	// handed to a compressing level's codec: blocks it judges hopeless
+	// (near-uniform byte distribution and no recurring 4-byte windows) go
+	// straight to stored-raw framing, skipping the codec — and, on the
+	// direct-ingest path, staying zero-copy all the way to the wire. Nil
+	// means probe.Default(); set &probe.Disabled() to run every block
+	// through the codec unconditionally. Skips are counted in
+	// Stats.ProbeSkips and the probe_skips metric.
+	Probe *probe.Config
 }
 
 // Writer intercepts an application byte stream, compresses it adaptively and
@@ -160,6 +177,7 @@ type Writer struct {
 	ladder compress.Ladder
 	clock  vclock.Clock
 	dec    core.Decider // nil in static/scheme mode
+	probe  probe.Config // resolved from cfg.Probe at construction
 
 	// bufArena backs buf; scratchArena backs scratch (serial mode only —
 	// pipeline workers pool their own frame buffers). Both come from the
@@ -223,6 +241,10 @@ func NewWriter(dst io.Writer, cfg WriterConfig) (*Writer, error) {
 		cfg:    cfg,
 		ladder: cfg.Ladder,
 		clock:  cfg.Clock,
+		probe:  probe.Default(),
+	}
+	if cfg.Probe != nil {
+		w.probe = *cfg.Probe
 	}
 	w.stats.BlocksPerLevel = make([]int64, len(cfg.Ladder))
 	w.obs = newWriterObs(cfg.Obs, cfg.Ladder)
@@ -275,7 +297,7 @@ func NewWriter(dst io.Writer, cfg WriterConfig) (*Writer, error) {
 	// write loop cuts a block when len(buf) reaches cap(buf).
 	w.buf = w.bufArena.B[:0:cfg.BlockSize]
 	if cfg.Parallelism > 1 {
-		w.pipe = newPipeline(w.ladder, w, cfg.Parallelism)
+		w.pipe = newPipeline(w.ladder, w.probe, w, cfg.Parallelism)
 	} else {
 		w.scratchArena = block.Get(maxFrameSize(cfg.BlockSize))
 		w.scratch = w.scratchArena.B[:0]
@@ -285,17 +307,34 @@ func NewWriter(dst io.Writer, cfg WriterConfig) (*Writer, error) {
 }
 
 // writeEncodedFrame implements writeSink for the parallel pipeline: it
-// pushes one finished frame downstream and accounts it. The frame buffer
-// is owned (and released) by the pipeline's flusher.
+// pushes one finished frame downstream — vectored when the frame carries a
+// stored-raw tail piece — and accounts it. The frame's buffers are owned
+// (and released) by the pipeline's flusher.
 func (w *Writer) writeEncodedFrame(f encodedFrame) error {
-	if err := writeFull(w.dst, f.frame.B); err != nil {
-		return err
+	wire := int64(len(f.frame.B))
+	if f.tail == nil {
+		if err := writeFull(w.dst, f.frame.B); err != nil {
+			return err
+		}
+	} else {
+		wire += int64(len(f.tail.B))
+		if err := WriteVectored(w.dst, f.frame.B, f.tail.B); err != nil {
+			return err
+		}
+	}
+	// Same ledger split as the serial path: a codec transform copies every
+	// raw byte once (on top of any staging copy by Write); a stored-raw
+	// frame rides the vectored write aliasing the block, so its unstaged
+	// bytes reach the wire copy-free.
+	rawBytes := int64(f.rawLen)
+	copied, passthrough := f.staged, int64(0)
+	if f.codecID != compress.IDNone {
+		copied += rawBytes
+	} else {
+		passthrough = rawBytes - f.staged
 	}
 	w.statsMu.Lock()
-	// The pipeline encodes contiguous frames: even a stored-raw block is
-	// appended into the frame buffer, so every raw byte was copied once
-	// (plus once more on the way in if it was staged by Write).
-	w.accountFrame(int64(len(f.frame.B)), int64(f.rawLen), f.staged+int64(f.rawLen), 0, f.level, f.codecID)
+	w.accountFrame(wire, rawBytes, copied, passthrough, f.level, f.codecID, f.skipped)
 	w.statsMu.Unlock()
 	return nil
 }
@@ -305,7 +344,7 @@ func (w *Writer) writeEncodedFrame(f encodedFrame) error {
 // counts buffer-to-buffer memcpys (staging by Write, codec transforms,
 // contiguous pipeline assembly), passthrough counts bytes that reached the
 // wire aliased straight out of the block with no user-space copy.
-func (w *Writer) accountFrame(wireBytes, rawBytes, copied, passthrough int64, level int, codecID uint8) {
+func (w *Writer) accountFrame(wireBytes, rawBytes, copied, passthrough int64, level int, codecID uint8, skipped bool) {
 	w.stats.WireBytes += wireBytes
 	w.winWireBytes += wireBytes
 	w.stats.Blocks++
@@ -321,6 +360,10 @@ func (w *Writer) accountFrame(wireBytes, rawBytes, copied, passthrough int64, le
 	if codecID == compress.IDNone && w.ladder[level].Codec.ID() != compress.IDNone {
 		w.stats.RawFallbacks++
 		w.obs.rawFallbacks.Inc()
+		if skipped {
+			w.stats.ProbeSkips++
+			w.obs.probeSkips.Inc()
+		}
 	}
 }
 
@@ -509,7 +552,7 @@ func (w *Writer) flushBlock() error {
 		w.buf = w.bufArena.B[:0:w.cfg.BlockSize]
 		return w.pipe.submit(full, w.level, staged)
 	}
-	payload, codecID, scratch, err := writeFrame(w.dst, w.ladder, w.level, w.buf, w.scratch)
+	payload, codecID, skipped, scratch, err := writeFrame(w.dst, w.ladder, w.level, w.buf, w.scratch, w.probe)
 	w.scratch = scratch[:0]
 	w.scratchArena.B = scratch // keep any growth with the pooled buffer
 	if err != nil {
@@ -526,7 +569,7 @@ func (w *Writer) flushBlock() error {
 		passthrough = rawBytes - staged
 	}
 	w.statsMu.Lock()
-	w.accountFrame(int64(payload+headerSize), rawBytes, copied, passthrough, w.level, codecID)
+	w.accountFrame(int64(payload+headerSize), rawBytes, copied, passthrough, w.level, codecID, skipped)
 	w.statsMu.Unlock()
 	w.buf = w.buf[:0]
 	return nil

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptio/internal/compress/probe"
 	"adaptio/internal/coord"
 	"adaptio/internal/core"
 	"adaptio/internal/obs"
@@ -77,6 +78,13 @@ type Config struct {
 	// "ewma"); empty means the paper's Algorithm 1. Ignored in Static
 	// mode and while a Coord steers the stream. See docs/deciders.md.
 	Decider string
+	// Probe overrides the entropy pre-probe each connection's compress
+	// path consults before handing a block to the codec (see
+	// stream.WriterConfig.Probe): hopeless blocks go straight to
+	// stored-raw framing, zero-copy on the direct-ingest relay path. Nil
+	// means probe.Default(); &probe.Disabled() compresses every block
+	// unconditionally. actunnel exposes this as -no-probe.
+	Probe *probe.Config
 	// DeciderSeed seeds stochastic policies; every connection derives a
 	// distinct per-stream seed from it, so two endpoints with the same
 	// seed make reproducible decision sequences per connection index.
@@ -257,6 +265,7 @@ func (c Config) writerConfig(obsScope *obs.Scope) stream.WriterConfig {
 		Static:      c.Static,
 		StaticLevel: c.StaticLevel,
 		Obs:         obsScope,
+		Probe:       c.Probe,
 	}
 }
 
